@@ -1,0 +1,87 @@
+"""E12 — checkpointing as a third point in the fault-tolerance space.
+
+Extends E5: §2.1 weighs lineage against reliable caching; checkpointing
+intermediate outputs to durable storage (lineage-stash style) sits between
+them — bounded replay for a bounded durable-write cost.  We sweep the
+checkpoint interval on a fixed-depth chain and chart forward overhead vs.
+recovery time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench import ResultTable, fmt_seconds
+from repro.cluster import MB, DeviceKind, DurableStore, build_physical_disagg
+from repro.runtime import ResolutionMode, RuntimeConfig, ServerlessRuntime
+
+DEPTH = 16
+TASK_COST = 5e-3
+OUTPUT_BYTES = 1 * MB
+INTERVALS = [None, 8, 4, 2]  # None = pure lineage
+
+
+def run_chain(checkpoint_every: Optional[int]):
+    cluster = build_physical_disagg()
+    rt = ServerlessRuntime(
+        cluster,
+        RuntimeConfig(resolution=ResolutionMode.PULL),
+        durable_store=DurableStore(cluster.sim),
+    )
+    cpu = cluster.node("server0").first_of_kind(DeviceKind.CPU)
+    ref = rt.submit(
+        lambda: 0,
+        compute_cost=TASK_COST,
+        output_nbytes=OUTPUT_BYTES,
+        pinned_device=cpu.device_id,
+    )
+    for i in range(1, DEPTH):
+        ref = rt.submit(
+            lambda x: x + 1,
+            (ref,),
+            compute_cost=TASK_COST,
+            output_nbytes=OUTPUT_BYTES,
+            pinned_device=cpu.device_id,
+        )
+        last = i == DEPTH - 1
+        if checkpoint_every is not None and (i + 1) % checkpoint_every == 0 and not last:
+            rt.get(ref)
+            rt.checkpoint(ref)
+    assert rt.get(ref) == DEPTH - 1
+    forward_time = rt.sim.now
+
+    rt.fail_node("server0")
+    rt.restart_node("server0")
+    assert rt.get(ref) == DEPTH - 1
+    recovery_time = rt.sim.now - forward_time
+    return forward_time, recovery_time, rt.lineage.replays
+
+
+def test_e12_checkpoint_interval_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [(iv, *run_chain(iv)) for iv in INTERVALS], rounds=1, iterations=1
+    )
+
+    table = ResultTable(
+        f"E12: depth-{DEPTH} chain, checkpoint-interval sweep",
+        ["checkpoint every", "forward time", "recovery time", "tasks replayed"],
+    )
+    for interval, fwd, rec, replays in rows:
+        table.add_row(
+            "never (lineage)" if interval is None else f"{interval} tasks",
+            fmt_seconds(fwd),
+            fmt_seconds(rec),
+            replays,
+        )
+    table.show()
+
+    forward = [r[1] for r in rows]
+    recovery = [r[2] for r in rows]
+    replays = [r[3] for r in rows]
+    # denser checkpoints: slower forward path (durable writes) ...
+    assert forward == sorted(forward)
+    # ... but strictly cheaper recovery (bounded replay)
+    assert recovery == sorted(recovery, reverse=True)
+    assert replays == sorted(replays, reverse=True)
+    assert replays[0] == DEPTH  # pure lineage replays everything
+    assert replays[-1] < DEPTH // 4

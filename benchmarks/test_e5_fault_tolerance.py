@@ -1,0 +1,98 @@
+"""E5 — lineage replay vs. reliable caching (§1 benefit (4), §2.1).
+
+"Most existing data systems use lineage since replication is costly.
+However, a reliable caching layer could be beneficial as it helps reduce
+tail latency and potentially cost since the cost of restarting jobs may
+offset the cost of extra storage."
+
+Workload: a task chain of depth D whose outputs all live on one node; that
+node dies after the job completes and the driver re-reads the final
+output.  Lineage must re-execute the whole chain (recovery ~ D * task
+cost); a replicated/EC cache reconstructs from surviving copies (flat),
+paying storage overhead instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench import ResultTable, fmt_seconds
+from repro.caching import ErasureCode, ReplicationScheme
+from repro.cluster import DeviceKind, build_physical_disagg
+from repro.runtime import ResolutionMode, RuntimeConfig, ServerlessRuntime
+from repro.runtime.runtime import make_reliable_cache
+
+TASK_COST = 5e-3
+DEPTHS = [2, 4, 8, 16]
+
+
+def run_and_recover(depth: int, redundancy) -> tuple:
+    cluster = build_physical_disagg()
+    cache = make_reliable_cache(cluster, redundancy) if redundancy else None
+    rt = ServerlessRuntime(
+        cluster, RuntimeConfig(resolution=ResolutionMode.PULL), reliable_cache=cache
+    )
+    cpu = cluster.node("server0").first_of_kind(DeviceKind.CPU)
+    ref = rt.submit(lambda: 0, compute_cost=TASK_COST, pinned_device=cpu.device_id)
+    for _ in range(depth - 1):
+        ref = rt.submit(
+            lambda x: x + 1, (ref,), compute_cost=TASK_COST, pinned_device=cpu.device_id
+        )
+    assert rt.get(ref) == depth - 1
+    t_before = rt.sim.now
+    rt.fail_node("server0")
+    rt.restart_node("server0")
+    assert rt.get(ref) == depth - 1  # recovered, by replay or by cache
+    recovery_time = rt.sim.now - t_before
+    storage = redundancy.storage_overhead if redundancy else 1.0
+    return recovery_time, rt.lineage.replays, storage
+
+
+def test_e5_lineage_vs_reliable_cache(benchmark):
+    def sweep():
+        rows = []
+        for depth in DEPTHS:
+            lineage = run_and_recover(depth, None)
+            repl = run_and_recover(depth, ReplicationScheme(2))
+            ec = run_and_recover(depth, ErasureCode(4, 2))
+            rows.append((depth, lineage, repl, ec))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "E5: recovery after losing the node holding a depth-D chain",
+        [
+            "depth",
+            "lineage recovery",
+            "repl(2) recovery",
+            "EC(4,2) recovery",
+            "lineage replays",
+            "storage lineage/repl/EC",
+        ],
+    )
+    for depth, lineage, repl, ec in rows:
+        table.add_row(
+            depth,
+            fmt_seconds(lineage[0]),
+            fmt_seconds(repl[0]),
+            fmt_seconds(ec[0]),
+            lineage[1],
+            f"1.0x / {repl[2]:.1f}x / {ec[2]:.2f}x",
+        )
+    table.show()
+
+    # lineage recovery grows with chain depth (it replays the whole chain)
+    lineage_times = [r[1][0] for r in rows]
+    assert lineage_times == sorted(lineage_times)
+    assert lineage_times[-1] > lineage_times[0] * 4
+    for depth, lineage, repl, ec in rows:
+        assert lineage[1] == depth  # replayed every task
+        assert repl[1] == 0 and ec[1] == 0  # cache recovery: no replays
+        # cache recovery is flat and far below deep-lineage replay
+        if depth >= 8:
+            assert repl[0] < lineage[0] / 4
+            assert ec[0] < lineage[0] / 4
+    # storage trade-off: lineage 1x < EC 1.5x < replication 2x
+    assert rows[0][2][2] == 2.0
+    assert rows[0][3][2] == 1.5

@@ -1,0 +1,98 @@
+"""E6 — serverless pay-as-you-go vs. reservation (§1's third principle).
+
+"use serverless to lower costs"; requirement (a): "an easy programming
+model that enjoys the pay-as-you-go model for all the computing power
+used" — including DSAs, whose "auto-scaling is almost non-existent" in
+commercial serverless.
+
+Workload: a bursty trace (the serverless sweet spot) offered to a reserved
+fleet sized for the burst, vs. an autoscaled pool.  Run twice: a "CPU
+pool" and a "GPU pool" with a longer cold start (DSA autoscaling).
+"""
+
+from __future__ import annotations
+
+from repro.bench import ResultTable, bursty_trace
+from repro.cluster import Simulator
+from repro.runtime.autoscaler import AutoscalingPool, ReservedPool, run_trace
+
+BURSTS = 10
+JOBS_PER_BURST = 20
+INTERVAL = 120.0
+
+
+def offered_trace(seed=0):
+    return bursty_trace(
+        bursts=BURSTS,
+        jobs_per_burst=JOBS_PER_BURST,
+        burst_interval=INTERVAL,
+        duration_range=(0.5, 2.0),
+        seed=seed,
+    )
+
+
+def run_pair(cold_start: float):
+    jobs = offered_trace()
+    sim_r = Simulator()
+    reserved = run_trace(sim_r, ReservedPool(sim_r, size=JOBS_PER_BURST), jobs)
+    sim_a = Simulator()
+    auto = run_trace(
+        sim_a,
+        AutoscalingPool(
+            sim_a,
+            min_workers=1,
+            max_workers=2 * JOBS_PER_BURST,
+            cold_start=cold_start,
+            idle_timeout=5.0,
+        ),
+        jobs,
+    )
+    return reserved, auto
+
+
+def test_e6_autoscaling_vs_reservation(benchmark):
+    def both():
+        return run_pair(cold_start=0.5), run_pair(cold_start=5.0)
+
+    (cpu_res, cpu_auto), (gpu_res, gpu_auto) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+
+    table = ResultTable(
+        f"E6: bursty trace ({BURSTS} bursts x {JOBS_PER_BURST} jobs)",
+        [
+            "pool",
+            "provisioning",
+            "worker-seconds",
+            "utilization",
+            "mean wait",
+            "p-max wait",
+        ],
+    )
+    for label, stats in [
+        ("CPU", cpu_res),
+        ("CPU", cpu_auto),
+        ("DSA (5s cold start)", gpu_res),
+        ("DSA (5s cold start)", gpu_auto),
+    ]:
+        kind = "reserved" if stats is cpu_res or stats is gpu_res else "autoscaled"
+        table.add_row(
+            label,
+            kind,
+            f"{stats.provisioned_seconds:.0f}",
+            f"{stats.utilization:.1%}",
+            f"{stats.mean_wait:.2f} s",
+            f"{stats.max_wait:.2f} s",
+        )
+    table.show()
+
+    for reserved, auto in [(cpu_res, cpu_auto), (gpu_res, gpu_auto)]:
+        assert reserved.completed == auto.completed == BURSTS * JOBS_PER_BURST
+        # pay-as-you-go: >= 5x cheaper at low duty cycle
+        assert auto.provisioned_seconds < reserved.provisioned_seconds / 5
+        assert auto.utilization > 5 * reserved.utilization
+        # the price is bounded queueing, roughly the cold start per burst
+        assert auto.mean_wait < 10.0
+    # DSA autoscaling pays its longer cold start in wait time, not dollars
+    assert gpu_auto.mean_wait > cpu_auto.mean_wait
+    assert gpu_auto.provisioned_seconds < gpu_res.provisioned_seconds / 5

@@ -1,0 +1,119 @@
+"""E8 — one hardware-agnostic op, many backends (§2.2).
+
+"A key benefit of using hardware-agnostic IR is that we can lower a single
+piece of code to multiple hardware backends, based on a set of predefined
+policies."
+
+We sweep op kind and size across the CPU/GPU/FPGA cost models: the best
+backend must flip with scale (launch overhead vs. throughput), and the
+CHEAPEST policy must always pick the per-op argmin — beating any single
+fixed backend on the mixed function.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ResultTable
+from repro.ir import (
+    ALL_BACKENDS,
+    Builder,
+    SelectionPolicy,
+    TensorType,
+    estimated_cost,
+    select_backends,
+)
+
+SIZES = [64, 1024, 16_384, 262_144]
+
+
+def elementwise_func(n: int):
+    b = Builder(f"ew{n}")
+    x = b.add_param("x", TensorType((n,)))
+    out = b.emit("linalg", "relu", [x])
+    return b.ret(out.result())
+
+
+def matmul_func(n: int):
+    b = Builder(f"mm{n}")
+    x = b.add_param("x", TensorType((n, n)))
+    y = b.add_param("y", TensorType((n, n)))
+    out = b.emit("linalg", "matmul", [x, y])
+    return b.ret(out.result())
+
+
+def mixed_pipeline():
+    """big matmul + bulk elementwise + a tiny tail op: no one backend wins
+    — the tail's launch overhead on an accelerator exceeds its CPU cost."""
+    b = Builder("mixed")
+    x = b.add_param("x", TensorType((512, 512)))
+    w = b.add_param("w", TensorType((512, 512)))
+    mm = b.emit("linalg", "matmul", [x, w])
+    act = b.emit("linalg", "relu", [mm.result()])
+    red = b.emit("linalg", "reduce_sum", [act.result()], {"axis": 0})
+    tail = b.emit("linalg", "sigmoid", [red.result()])  # 512 elements
+    return b.ret(tail.result())
+
+
+def test_e8_backend_costs_cross_over(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            func = elementwise_func(n)
+            op = func.ops[0]
+            costs = {
+                backend.name: backend.cost(op)
+                for backend in ALL_BACKENDS
+                if backend.supports(op)
+            }
+            best = min(costs, key=lambda k: (costs[k], k))
+            rows.append((n, costs, best))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "E8: relu cost by backend (seconds, modeled)",
+        ["elements", "cpu", "gpu", "fpga", "argmin"],
+    )
+    for n, costs, best in rows:
+        table.add_row(
+            n,
+            f"{costs['cpu']:.2e}",
+            f"{costs['gpu']:.2e}",
+            f"{costs['fpga']:.2e}",
+            best,
+        )
+    table.show()
+
+    # launch overhead keeps tiny ops on the CPU; throughput moves big ops
+    # onto an accelerator — the crossover the selection policy exists for
+    assert rows[0][2] == "cpu"
+    assert rows[-1][2] in ("gpu", "fpga")
+    assert rows[-1][2] != rows[0][2]
+
+
+def test_e8_policy_beats_fixed_backends(benchmark):
+    def evaluate():
+        results = {}
+        func = mixed_pipeline()
+        select_backends(func, policy=SelectionPolicy.CPU_ONLY)
+        results["cpu-only"] = estimated_cost(func)
+        select_backends(func, policy=SelectionPolicy.PREFER_ACCELERATOR)
+        results["always-accelerator"] = estimated_cost(func)
+        select_backends(func, policy=SelectionPolicy.CHEAPEST)
+        results["predefined policy (argmin)"] = estimated_cost(func)
+        picks = [op.attrs["backend"] for op in func.ops]
+        return results, picks
+
+    results, picks = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    table = ResultTable("E8: mixed pipeline cost by policy", ["policy", "modeled cost"])
+    for name, cost in results.items():
+        table.add_row(name, f"{cost * 1e3:.4f} ms")
+    table.show()
+    print(f"argmin per-op picks: {picks}")
+
+    best = results["predefined policy (argmin)"]
+    assert best <= results["cpu-only"]
+    assert best <= results["always-accelerator"]
+    # the mixed pipeline really uses more than one backend
+    assert len(set(picks)) >= 2

@@ -1,0 +1,139 @@
+"""F1 — Figure 1's three deployment models on one analytics job.
+
+A 3-stage pipeline (ingest -> transform -> aggregate) moving S bytes
+between stages, run three ways:
+
+* (a) traditional serverful — a reserved server cluster; data moves
+  directly between tasks; you pay for the whole fleet the whole time.
+* (b) stateless serverless — functions "bounce data via durable cloud
+  storage" (§1) and pay a cold start each, but bill only compute time.
+* (c) distributed runtime (Skadi) — stateful serverless with the caching
+  layer: futures carry data directly, pay-per-use billing.
+
+Expected shape: (c) matches (a) on latency (no durable bounce) while
+costing like (b); (b) pays the durable-storage tax in latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import ResultTable, fmt_seconds
+from repro.cluster import MB, DurableStore, build_physical_disagg, build_serverful
+from repro.runtime import ResolutionMode, RuntimeConfig, ServerlessRuntime
+
+STAGE_COST = 5e-3  # CPU-seconds per stage
+COLD_START = 0.05  # seconds per stateless function instantiation
+N_SERVERS = 4
+PRICE_PER_CPU_SECOND = 1.0  # relative cost units
+# a reserved fleet is billed between jobs too; one job arrives per window
+RESERVATION_WINDOW = 1.0  # seconds of fleet time billed per job
+
+
+@dataclass
+class ModelResult:
+    latency: float
+    cost: float
+
+
+def run_serverful(nbytes: int) -> ModelResult:
+    cluster = build_serverful(n_servers=N_SERVERS)
+    rt = ServerlessRuntime(cluster, RuntimeConfig(resolution=ResolutionMode.PULL))
+    a = rt.submit(lambda: b"", compute_cost=STAGE_COST, output_nbytes=nbytes, name="ingest")
+    b = rt.submit(lambda x: x, (a,), compute_cost=STAGE_COST, output_nbytes=nbytes, name="transform")
+    c = rt.submit(lambda x: len(x), (b,), compute_cost=STAGE_COST, name="aggregate")
+    rt.get(c)
+    latency = rt.sim.now
+    # reservation: the whole fleet for the whole arrival window
+    billed = max(latency, RESERVATION_WINDOW)
+    return ModelResult(latency, N_SERVERS * billed * PRICE_PER_CPU_SECOND)
+
+
+def run_stateless_serverless(nbytes: int) -> ModelResult:
+    """Each function cold-starts, reads input from and writes output to
+    durable storage (the Figure 1b data path)."""
+    cluster = build_serverful(n_servers=N_SERVERS)
+    sim = cluster.sim
+    durable = DurableStore(sim)
+    cpu = cluster.node("server0").first_of_kind_or_none = None  # not used
+    device = cluster.node("server0").devices[0]
+
+    def stage(read_key, write_key, write_bytes):
+        def _run():
+            yield sim.timeout(COLD_START)
+            if read_key is not None:
+                yield durable.get(read_key)
+            yield device.execute(STAGE_COST)
+            if write_key is not None:
+                yield durable.put(write_key, b"", write_bytes)
+
+        return sim.process(_run())
+
+    def job():
+        yield stage(None, "s1", nbytes)
+        yield stage("s1", "s2", nbytes)
+        yield stage("s2", None, 0)
+
+    sim.run_until_complete(sim.process(job()))
+    latency = sim.now
+    compute_cost = 3 * (STAGE_COST + COLD_START) * PRICE_PER_CPU_SECOND
+    return ModelResult(latency, compute_cost)
+
+
+def run_distributed_runtime(nbytes: int) -> ModelResult:
+    cluster = build_physical_disagg(n_servers=N_SERVERS)
+    rt = ServerlessRuntime(cluster, RuntimeConfig(resolution=ResolutionMode.PUSH))
+    a = rt.submit(lambda: b"", compute_cost=STAGE_COST, output_nbytes=nbytes, name="ingest")
+    b = rt.submit(lambda x: x, (a,), compute_cost=STAGE_COST, output_nbytes=nbytes, name="transform")
+    c = rt.submit(lambda x: len(x), (b,), compute_cost=STAGE_COST, name="aggregate")
+    rt.get(c)
+    latency = rt.sim.now
+    return ModelResult(latency, 3 * STAGE_COST * PRICE_PER_CPU_SECOND)
+
+
+def test_fig1_deployment_models(benchmark):
+    sizes = [1 * MB, 4 * MB, 16 * MB, 64 * MB]
+    table = ResultTable(
+        "Figure 1: deployment models (3-stage pipeline)",
+        ["intermediate size", "serverful lat", "stateless lat", "skadi lat",
+         "serverful cost", "stateless cost", "skadi cost"],
+    )
+
+    def sweep():
+        results = []
+        for nbytes in sizes:
+            results.append(
+                (
+                    nbytes,
+                    run_serverful(nbytes),
+                    run_stateless_serverless(nbytes),
+                    run_distributed_runtime(nbytes),
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for nbytes, serverful, stateless, skadi in results:
+        table.add_row(
+            f"{nbytes // MB} MiB",
+            fmt_seconds(serverful.latency),
+            fmt_seconds(stateless.latency),
+            fmt_seconds(skadi.latency),
+            f"{serverful.cost:.3f}",
+            f"{stateless.cost:.3f}",
+            f"{skadi.cost:.3f}",
+        )
+    table.show()
+
+    for nbytes, serverful, stateless, skadi in results:
+        # the durable bounce dominates stateless latency
+        assert skadi.latency < stateless.latency / 3
+        # the distributed runtime stays within ~4x of dedicated servers
+        # (it crosses the disaggregation fabric instead of a local bus)
+        assert skadi.latency < serverful.latency * 4
+        # pay-as-you-go: both serverless models far below reservation
+        assert skadi.cost < serverful.cost / 10
+        assert stateless.cost < serverful.cost
+        # and Skadi does not pay the cold-start tax
+        assert skadi.cost < stateless.cost

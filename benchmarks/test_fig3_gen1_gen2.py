@@ -1,0 +1,132 @@
+"""F3 — Figure 3: Gen-1 (DPU-centric) vs Gen-2 (device-centric) runtime.
+
+The paper's diagnosis (§2.3.2): in Gen-1, "if two chained ops from the
+same physical graph are deployed to two different FPGAs, their
+communication (e.g., future resolution) must go through the DPU.  For
+short-lived ML ops, frequent trips to the DPU are too costly."
+
+We run a chain of ops alternating between the two FPGAs of one card and
+sweep the op duration.  Expected shape: Gen-2 wins big for microsecond ops
+and the advantage decays toward 1x as ops grow long enough that compute
+dominates control.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bench import ResultTable, fmt_seconds
+from repro.cluster import DeviceKind, build_physical_disagg
+from repro.runtime import (
+    Generation,
+    ResolutionMode,
+    RuntimeConfig,
+    ServerlessRuntime,
+)
+
+CHAIN = 16
+DURATIONS = [1e-5, 1e-4, 1e-3, 1e-2]  # CPU-seconds per op
+
+# Gen-1 is the DPU-centric runtime with Ray's stock pull resolution;
+# Gen-2 adds device-local raylets AND the push-based resolution (§2.3.2's
+# three key changes — the third, disaggregated-memory spill, is always on).
+GEN1 = RuntimeConfig(generation=Generation.GEN1, resolution=ResolutionMode.PULL)
+GEN2 = RuntimeConfig(generation=Generation.GEN2, resolution=ResolutionMode.PUSH)
+
+
+def run_chain(config: RuntimeConfig, op_cost: float) -> Tuple[float, int]:
+    cluster = build_physical_disagg()
+    rt = ServerlessRuntime(cluster, config)
+    card = next(
+        n
+        for n in cluster.nodes.values()
+        if len(n.devices_of_kind(DeviceKind.FPGA)) == 2
+    )
+    f0, f1 = (d.device_id for d in card.devices_of_kind(DeviceKind.FPGA))
+    ref = rt.submit(lambda: 0, compute_cost=op_cost, pinned_device=f0, name="op0")
+    for i in range(1, CHAIN):
+        ref = rt.submit(
+            lambda x: x + 1,
+            (ref,),
+            compute_cost=op_cost,
+            pinned_device=f0 if i % 2 == 0 else f1,
+            name=f"op{i}",
+        )
+    value = rt.get(ref)
+    assert value == CHAIN - 1
+    return rt.sim.now, rt.control_messages
+
+
+def test_fig3_gen1_vs_gen2(benchmark):
+    def sweep() -> List[Tuple[float, float, float, int, int]]:
+        rows = []
+        for cost in DURATIONS:
+            t1, m1 = run_chain(GEN1, cost)
+            t2, m2 = run_chain(GEN2, cost)
+            rows.append((cost, t1, t2, m1, m2))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = ResultTable(
+        f"Figure 3: {CHAIN}-op chain across two FPGAs on one card",
+        ["op cost", "Gen-1 time", "Gen-2 time", "Gen-2 speedup", "msgs G1", "msgs G2"],
+    )
+    speedups = []
+    for cost, t1, t2, m1, m2 in rows:
+        speedups.append(t1 / t2)
+        table.add_row(
+            fmt_seconds(cost),
+            fmt_seconds(t1),
+            fmt_seconds(t2),
+            f"{t1 / t2:.2f}x",
+            m1,
+            m2,
+        )
+    table.show()
+
+    # Gen-2 is never slower, wins clearly for short ops, and the advantage
+    # decays monotonically as op duration grows (compute dominates)
+    assert all(s >= 1.0 for s in speedups)
+    assert speedups[0] > 1.15
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[-1] < speedups[0]
+
+
+def test_fig3_dpu_serialization_bottleneck(benchmark):
+    """Many independent short ops on one card: Gen-1 serializes all control
+    handling on the DPU raylet; Gen-2 spreads it across device raylets."""
+
+    def burst(config: RuntimeConfig) -> float:
+        cluster = build_physical_disagg()
+        rt = ServerlessRuntime(cluster, config)
+        card = next(
+            n
+            for n in cluster.nodes.values()
+            if len(n.devices_of_kind(DeviceKind.FPGA)) == 2
+        )
+        fpgas = [d.device_id for d in card.devices_of_kind(DeviceKind.FPGA)]
+        refs = [
+            rt.submit(
+                lambda: 1,
+                compute_cost=1e-5,
+                pinned_device=fpgas[i % 2],
+                name=f"burst{i}",
+            )
+            for i in range(64)
+        ]
+        assert sum(rt.get(refs)) == 64
+        return rt.sim.now
+
+    def both():
+        return burst(GEN1), burst(GEN2)
+
+    t1, t2 = benchmark.pedantic(both, rounds=1, iterations=1)
+    table = ResultTable(
+        "Figure 3: 64 independent short ops on one card",
+        ["generation", "makespan"],
+    )
+    table.add_row("Gen-1 (DPU raylet)", fmt_seconds(t1))
+    table.add_row("Gen-2 (device raylets)", fmt_seconds(t2))
+    table.show()
+    assert t2 < t1

@@ -1,0 +1,79 @@
+"""Table 1 of the paper: the related-work comparison matrix.
+
+The table is data, not prose, so it is regenerable and checkable: the
+benchmark renders it and asserts the claims the paper's text makes about
+it (e.g. Skadi is the only row with D-API + IR + stateful + PhysDisagg +
+Integration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .harness import ResultTable
+
+__all__ = ["SystemRow", "RELATED_WORK", "render_table1", "skadi_unique_claim"]
+
+
+@dataclass(frozen=True)
+class SystemRow:
+    name: str
+    api: str  # "POSIX" | "I-API" | "D-API"
+    ir: Optional[str]  # None | "IR" | "MLIR"
+    serverless: Optional[str]  # None | "stateless" | "stateful" | "actor"
+    phys_disagg: bool
+    integration: bool
+
+
+RELATED_WORK: List[SystemRow] = [
+    SystemRow("Dist. OS", "POSIX", None, None, False, False),
+    SystemRow("LegoOS", "POSIX", None, None, True, False),
+    SystemRow("FractOS", "I-API", None, None, True, False),
+    SystemRow("Molecule", "I-API", None, "stateless", True, False),
+    SystemRow("Cloudburst", "I-API", None, "stateful", False, False),
+    SystemRow("Pocket", "I-API", None, "stateful", False, False),
+    SystemRow("CIEL", "I-API", None, "stateful", False, False),
+    SystemRow("Ray", "I-API", None, "stateful", False, True),
+    SystemRow("MODC", "I-API", None, "stateful", False, False),
+    SystemRow("Pathways", "D-API", "MLIR", "stateful", False, False),
+    SystemRow("OneFlow", "D-API", "IR", "actor", False, False),
+    SystemRow("Dryad", "D-API", None, "stateless", False, True),
+    SystemRow("Naiad", "D-API", None, "stateful", False, True),
+    SystemRow("DPA", "D-API", None, "actor", False, True),
+    SystemRow("DBOS", "D-API", None, "stateful", False, True),
+    SystemRow("TCR", "D-API", "IR", None, False, True),
+    SystemRow("DAPHNE", "D-API", "MLIR", "stateless", False, True),
+    SystemRow("Skadi", "D-API", "MLIR", "stateful", True, True),
+]
+
+
+def render_table1() -> ResultTable:
+    table = ResultTable(
+        "Table 1: Related work comparisons",
+        ["System", "API", "IR", "Serverless", "PhysDisagg", "Integr."],
+    )
+    for row in RELATED_WORK:
+        table.add_row(
+            row.name,
+            row.api,
+            row.ir or "x",
+            row.serverless or "x",
+            "yes" if row.phys_disagg else "x",
+            "yes" if row.integration else "x",
+        )
+    return table
+
+
+def skadi_unique_claim() -> bool:
+    """The paper's implicit claim: only Skadi has all five properties."""
+    full_house = [
+        row.name
+        for row in RELATED_WORK
+        if row.api == "D-API"
+        and row.ir is not None
+        and row.serverless == "stateful"
+        and row.phys_disagg
+        and row.integration
+    ]
+    return full_house == ["Skadi"]

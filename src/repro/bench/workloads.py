@@ -1,0 +1,103 @@
+"""Deterministic workload generators for the experiment suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import numpy as np
+
+from ..caching.columnar import RecordBatch
+from ..runtime.autoscaler import Job
+
+__all__ = [
+    "orders_table",
+    "customers_table",
+    "lineitem_like_table",
+    "bursty_trace",
+    "poisson_trace",
+]
+
+
+def orders_table(num_rows: int, num_customers: int = 100, seed: int = 0) -> RecordBatch:
+    rng = np.random.default_rng(seed)
+    return RecordBatch.from_arrays(
+        {
+            "oid": np.arange(num_rows, dtype=np.int64),
+            "cust": rng.integers(0, num_customers, num_rows),
+            "amount": np.round(rng.random(num_rows) * 100, 2),
+            "qty": rng.integers(1, 10, num_rows),
+        }
+    )
+
+
+def customers_table(num_customers: int = 100, num_regions: int = 4, seed: int = 1) -> RecordBatch:
+    rng = np.random.default_rng(seed)
+    return RecordBatch.from_arrays(
+        {
+            "cid": np.arange(num_customers, dtype=np.int64),
+            "region": rng.integers(0, num_regions, num_customers),
+            "credit": np.round(rng.random(num_customers) * 1000, 2),
+        }
+    )
+
+
+def lineitem_like_table(num_rows: int, seed: int = 2) -> RecordBatch:
+    """A TPC-H lineitem-flavoured fact table."""
+    rng = np.random.default_rng(seed)
+    return RecordBatch.from_arrays(
+        {
+            "l_orderkey": rng.integers(0, max(num_rows // 4, 1), num_rows),
+            "l_partkey": rng.integers(0, 200, num_rows),
+            "l_quantity": rng.integers(1, 50, num_rows).astype(np.float64),
+            "l_extendedprice": np.round(rng.random(num_rows) * 1e4, 2),
+            "l_discount": np.round(rng.random(num_rows) * 0.1, 2),
+            "l_tax": np.round(rng.random(num_rows) * 0.08, 2),
+            "l_returnflag": rng.integers(0, 3, num_rows),
+            "l_linestatus": rng.integers(0, 2, num_rows),
+        }
+    )
+
+
+def bursty_trace(
+    bursts: int = 10,
+    jobs_per_burst: int = 20,
+    burst_interval: float = 100.0,
+    duration_range: Tuple[float, float] = (0.5, 2.0),
+    seed: int = 0,
+) -> List[Job]:
+    """Bursts of short jobs separated by idle gaps (serverless-friendly)."""
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    jid = 0
+    for burst in range(bursts):
+        t0 = burst * burst_interval
+        for _ in range(jobs_per_burst):
+            jobs.append(
+                Job(
+                    job_id=jid,
+                    arrival=t0 + rng.random() * 2.0,
+                    duration=rng.uniform(*duration_range),
+                )
+            )
+            jid += 1
+    return jobs
+
+
+def poisson_trace(
+    rate: float = 1.0,
+    horizon: float = 500.0,
+    duration_range: Tuple[float, float] = (0.5, 2.0),
+    seed: int = 0,
+) -> List[Job]:
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    t = 0.0
+    jid = 0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            break
+        jobs.append(Job(job_id=jid, arrival=t, duration=rng.uniform(*duration_range)))
+        jid += 1
+    return jobs

@@ -1,0 +1,90 @@
+"""GF(2^8) arithmetic for Reed-Solomon erasure coding.
+
+Log/antilog tables over the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
+vectorized with numpy so encode/decode work on whole shards at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gf_mul", "gf_inv", "gf_pow", "gf_matmul", "gf_mat_inv", "EXP", "LOG"]
+
+_POLY = 0x11B
+
+EXP = np.zeros(512, dtype=np.uint8)
+LOG = np.zeros(256, dtype=np.int32)
+
+# Generator 3 (x+1) is primitive modulo 0x11b; 2 is not (order 51).
+_x = 1
+for _i in range(255):
+    EXP[_i] = _x
+    LOG[_x] = _i
+    _hi = _x << 1
+    if _hi & 0x100:
+        _hi ^= _POLY
+    _x = _hi ^ _x  # multiply by 3 = (x * 2) xor x
+EXP[255:510] = EXP[:255]  # wrap so exp lookups never need a modulo
+
+
+def gf_mul(a, b):
+    """Elementwise product in GF(256); accepts scalars or uint8 arrays."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    result = EXP[(LOG[a] + LOG[b]) % 255]
+    zero = (a == 0) | (b == 0)
+    return np.where(zero, np.uint8(0), result).astype(np.uint8)
+
+
+def gf_pow(a: int, n: int) -> int:
+    """a**n in GF(256)."""
+    if a == 0:
+        if n == 0:
+            return 1
+        return 0
+    return int(EXP[(LOG[a] * n) % 255])
+
+
+def gf_inv(a):
+    """Multiplicative inverse; raises on zero."""
+    a_arr = np.asarray(a, dtype=np.uint8)
+    if np.any(a_arr == 0):
+        raise ZeroDivisionError("inverse of 0 in GF(256)")
+    return EXP[(255 - LOG[a_arr]) % 255].astype(np.uint8)
+
+
+def gf_matmul(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256): xor-accumulate of gf_mul outer products."""
+    A = np.asarray(A, dtype=np.uint8)
+    B = np.asarray(B, dtype=np.uint8)
+    if A.shape[1] != B.shape[0]:
+        raise ValueError(f"shape mismatch: {A.shape} @ {B.shape}")
+    out = np.zeros((A.shape[0], B.shape[1]), dtype=np.uint8)
+    for k in range(A.shape[1]):
+        out ^= gf_mul(A[:, k : k + 1], B[k : k + 1, :])
+    return out
+
+
+def gf_mat_inv(M: np.ndarray) -> np.ndarray:
+    """Gauss-Jordan inversion over GF(256); raises on singular matrices."""
+    M = np.asarray(M, dtype=np.uint8)
+    n, m = M.shape
+    if n != m:
+        raise ValueError(f"matrix must be square, got {M.shape}")
+    aug = np.concatenate([M.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        pivot = None
+        for row in range(col, n):
+            if aug[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        inv_piv = gf_inv(aug[col, col])
+        aug[col] = gf_mul(aug[col], inv_piv)
+        for row in range(n):
+            if row != col and aug[row, col] != 0:
+                aug[row] ^= gf_mul(aug[row, col], aug[col])
+    return aug[:, n:]

@@ -1,0 +1,99 @@
+"""Simulated disaggregated data-center substrate.
+
+The paper evaluates on DPU-fronted disaggregated devices the authors built
+in-house; this package is the substitution: a deterministic discrete-event
+model of servers, DPU cards, accelerators, memory blades, and the links
+between them (see DESIGN.md, "Hardware / dependency substitutions").
+"""
+
+from .cluster import (
+    Cluster,
+    build_logical_disagg,
+    build_physical_disagg,
+    build_serverful,
+    build_tightly_coupled,
+)
+from .durable import DurableStats, DurableStore
+from .hardware import (
+    CPU_SERVER_SPEC,
+    DPU_SPEC,
+    FPGA_SPEC,
+    GB,
+    GPU_SPEC,
+    KB,
+    MB,
+    MEMORY_BLADE_SPEC,
+    MSEC,
+    USEC,
+    Device,
+    DeviceKind,
+    DeviceSpec,
+)
+from .network import CONTROL_MSG_BYTES, Network, NetworkStats
+from .node import Node, NodeKind
+from .simtime import (
+    AllOf,
+    AnyOf,
+    Channel,
+    Interrupt,
+    Process,
+    Resource,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .topology import (
+    FABRIC_LINK,
+    NIC_LINK,
+    ONCHIP_LINK,
+    PCIE_LINK,
+    TIGHT_LINK,
+    LinkSpec,
+    Topology,
+)
+
+__all__ = [
+    "Cluster",
+    "build_serverful",
+    "build_logical_disagg",
+    "build_physical_disagg",
+    "build_tightly_coupled",
+    "DurableStore",
+    "DurableStats",
+    "Device",
+    "DeviceKind",
+    "DeviceSpec",
+    "CPU_SERVER_SPEC",
+    "GPU_SPEC",
+    "FPGA_SPEC",
+    "DPU_SPEC",
+    "MEMORY_BLADE_SPEC",
+    "KB",
+    "MB",
+    "GB",
+    "USEC",
+    "MSEC",
+    "Network",
+    "NetworkStats",
+    "CONTROL_MSG_BYTES",
+    "Node",
+    "NodeKind",
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Signal",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Channel",
+    "SimulationError",
+    "Interrupt",
+    "Topology",
+    "LinkSpec",
+    "ONCHIP_LINK",
+    "PCIE_LINK",
+    "NIC_LINK",
+    "FABRIC_LINK",
+    "TIGHT_LINK",
+]

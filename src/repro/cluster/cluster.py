@@ -1,0 +1,225 @@
+"""Cluster builders for the deployment models of Figure 1.
+
+Every builder wires devices into a :class:`Topology` and returns a
+:class:`Cluster` that owns the simulator, network, and node directory.
+
+* :func:`build_serverful` — Figure 1a: monolithic servers behind a ToR.
+* :func:`build_logical_disagg` — compute pool + storage pool over the ToR
+  (the "logical disaggregation" the paper says is battle-tested).
+* :func:`build_physical_disagg` — Figure 1c substrate: CPU servers plus
+  DPU-fronted GPU/FPGA cards and disaggregated-memory blades on a fabric.
+* :func:`build_tightly_coupled` — accelerators on a high-speed interconnect
+  (the "computing silo" / TPU-pod style cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from .hardware import (
+    CPU_SERVER_SPEC,
+    DPU_SPEC,
+    FPGA_SPEC,
+    GPU_SPEC,
+    MEMORY_BLADE_SPEC,
+    Device,
+    DeviceKind,
+    DeviceSpec,
+)
+from .network import Network
+from .node import Node, NodeKind
+from .simtime import Simulator
+from .topology import (
+    FABRIC_LINK,
+    NIC_LINK,
+    ONCHIP_LINK,
+    PCIE_LINK,
+    TIGHT_LINK,
+    LinkSpec,
+    Topology,
+)
+
+__all__ = [
+    "Cluster",
+    "build_serverful",
+    "build_logical_disagg",
+    "build_physical_disagg",
+    "build_tightly_coupled",
+]
+
+
+@dataclass
+class Cluster:
+    """A simulated cluster: simulator + topology + nodes."""
+
+    sim: Simulator
+    topology: Topology
+    network: Network
+    nodes: Dict[str, Node] = field(default_factory=dict)
+    switch_id: str = "tor-switch"
+
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[Node]:
+        return [n for n in self.nodes.values() if n.kind == kind]
+
+    def device(self, device_id: str) -> Device:
+        for node in self.nodes.values():
+            for dev in node.devices:
+                if dev.device_id == device_id:
+                    return dev
+        raise KeyError(f"unknown device {device_id!r}")
+
+    def devices_of_kind(self, kind: DeviceKind) -> List[Device]:
+        return [d for n in self.nodes.values() for d in n.devices if d.kind == kind]
+
+    def all_devices(self) -> List[Device]:
+        return [d for n in self.nodes.values() for d in n.devices]
+
+    def node_of_device(self, device_id: str) -> Node:
+        for node in self.nodes.values():
+            for dev in node.devices:
+                if dev.device_id == device_id:
+                    return node
+        raise KeyError(f"unknown device {device_id!r}")
+
+
+def _new_cluster() -> Cluster:
+    sim = Simulator()
+    topo = Topology()
+    net = Network(sim, topo)
+    cluster = Cluster(sim=sim, topology=topo, network=net)
+    topo.add_endpoint(cluster.switch_id)
+    return cluster
+
+
+def _attach_server(
+    cluster: Cluster,
+    node_id: str,
+    cpu_spec: DeviceSpec = CPU_SERVER_SPEC,
+    accelerators: Iterable[DeviceSpec] = (),
+    uplink: LinkSpec = NIC_LINK,
+) -> Node:
+    node = Node(node_id=node_id, kind=NodeKind.SERVER)
+    cpu = Device(cluster.sim, cpu_spec, node_id=node_id, device_id=f"{node_id}/cpu")
+    node.add_device(cpu)
+    for i, spec in enumerate(accelerators):
+        dev = Device(cluster.sim, spec, node_id=node_id, device_id=f"{node_id}/{spec.name}{i}")
+        node.add_device(dev)
+        cluster.topology.add_link(cpu.device_id, dev.device_id, PCIE_LINK)
+    cluster.topology.add_link(cpu.device_id, cluster.switch_id, uplink)
+    cluster.add_node(node)
+    return node
+
+
+def _attach_disagg_card(
+    cluster: Cluster,
+    node_id: str,
+    companion_spec: DeviceSpec,
+    n_companions: int = 1,
+    uplink: LinkSpec = FABRIC_LINK,
+) -> Node:
+    """A DPU-fronted card: DPU terminates the fabric, companions hang off it."""
+    node = Node(node_id=node_id, kind=NodeKind.DISAGG_DEVICE)
+    dpu = Device(cluster.sim, DPU_SPEC, node_id=node_id, device_id=f"{node_id}/dpu")
+    node.add_device(dpu)
+    for i in range(n_companions):
+        dev = Device(
+            cluster.sim,
+            companion_spec,
+            node_id=node_id,
+            device_id=f"{node_id}/{companion_spec.name}{i}",
+        )
+        node.add_device(dev)
+        cluster.topology.add_link(dpu.device_id, dev.device_id, ONCHIP_LINK)
+    cluster.topology.add_link(dpu.device_id, cluster.switch_id, uplink)
+    cluster.add_node(node)
+    return node
+
+
+def _attach_memory_blade(cluster: Cluster, node_id: str) -> Node:
+    node = Node(node_id=node_id, kind=NodeKind.MEMORY_BLADE)
+    blade = Device(
+        cluster.sim, MEMORY_BLADE_SPEC, node_id=node_id, device_id=f"{node_id}/mem"
+    )
+    node.add_device(blade)
+    cluster.topology.add_link(blade.device_id, cluster.switch_id, FABRIC_LINK)
+    cluster.add_node(node)
+    return node
+
+
+def build_serverful(n_servers: int = 4, gpus_per_server: int = 0) -> Cluster:
+    """Figure 1a: regular servers (optionally with local GPUs) behind a ToR."""
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    cluster = _new_cluster()
+    for i in range(n_servers):
+        _attach_server(
+            cluster,
+            f"server{i}",
+            accelerators=[GPU_SPEC] * gpus_per_server,
+        )
+    return cluster
+
+
+def build_logical_disagg(n_compute: int = 4, n_storage: int = 2) -> Cluster:
+    """Compute pool + storage pool, decoupled over the network."""
+    cluster = _new_cluster()
+    for i in range(n_compute):
+        _attach_server(cluster, f"compute{i}")
+    for i in range(n_storage):
+        storage_spec = CPU_SERVER_SPEC.with_overrides(
+            name="storage-server", memory_bytes=256 * CPU_SERVER_SPEC.memory_bytes // 64
+        )
+        _attach_server(cluster, f"storage{i}", cpu_spec=storage_spec)
+    return cluster
+
+
+def build_physical_disagg(
+    n_servers: int = 2,
+    n_gpu_cards: int = 2,
+    n_fpga_cards: int = 2,
+    n_mem_blades: int = 1,
+    fpgas_per_card: int = 2,
+) -> Cluster:
+    """Figure 1c / Figure 3 substrate: DPU-fronted cards on a fabric."""
+    cluster = _new_cluster()
+    for i in range(n_servers):
+        _attach_server(cluster, f"server{i}")
+    for i in range(n_gpu_cards):
+        _attach_disagg_card(cluster, f"gpucard{i}", GPU_SPEC)
+    for i in range(n_fpga_cards):
+        _attach_disagg_card(cluster, f"fpgacard{i}", FPGA_SPEC, n_companions=fpgas_per_card)
+    for i in range(n_mem_blades):
+        _attach_memory_blade(cluster, f"memblade{i}")
+    return cluster
+
+
+def build_tightly_coupled(n_accel: int = 4) -> Cluster:
+    """A computing silo: accelerators all-to-all on a high-speed interconnect."""
+    if n_accel < 1:
+        raise ValueError("need at least one accelerator")
+    cluster = _new_cluster()
+    devices = []
+    for i in range(n_accel):
+        node = Node(node_id=f"accel{i}", kind=NodeKind.ACCELERATOR)
+        dev = Device(cluster.sim, GPU_SPEC, node_id=node.node_id, device_id=f"accel{i}/gpu")
+        node.add_device(dev)
+        cluster.add_node(node)
+        devices.append(dev)
+    for i, a in enumerate(devices):
+        for b in devices[i + 1 :]:
+            cluster.topology.add_link(a.device_id, b.device_id, TIGHT_LINK)
+    # The silo still reaches the rest of the data center through one uplink.
+    cluster.topology.add_link(devices[0].device_id, cluster.switch_id, NIC_LINK)
+    return cluster

@@ -1,0 +1,87 @@
+"""Durable cloud storage model (the S3-like service of Figure 1b).
+
+Stateless serverless functions bounce intermediate data through this
+service; the distributed runtime's caching layer exists precisely to avoid
+that.  The model charges a fixed per-request latency, a serialization time
+at modest bandwidth, and an accounting cost in dollars so the deployment
+benchmark (F1) can report both time and cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator
+
+from .hardware import GB, MSEC
+from .simtime import Process, Simulator
+
+__all__ = ["DurableStore", "DurableStats"]
+
+
+@dataclass
+class DurableStats:
+    puts: int = 0
+    gets: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    @property
+    def round_trips(self) -> int:
+        return self.puts + self.gets
+
+    def request_cost_dollars(self, per_1k_requests: float = 0.005) -> float:
+        return self.round_trips / 1000.0 * per_1k_requests
+
+
+class DurableStore:
+    """High-latency durable KV storage with real value retention."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        request_latency: float = 10 * MSEC,
+        bandwidth: float = 0.1 * GB,
+    ):
+        if request_latency < 0 or bandwidth <= 0:
+            raise ValueError("invalid durable store parameters")
+        self.sim = sim
+        self.request_latency = request_latency
+        self.bandwidth = bandwidth
+        self.stats = DurableStats()
+        self._data: Dict[str, tuple[Any, int]] = {}
+
+    def _io_time(self, nbytes: int) -> float:
+        return self.request_latency + nbytes / self.bandwidth
+
+    def put(self, key: str, value: Any, nbytes: int) -> Process:
+        if nbytes < 0:
+            raise ValueError(f"negative object size: {nbytes}")
+        self.stats.puts += 1
+        self.stats.bytes_written += nbytes
+
+        def _put() -> Generator:
+            yield self.sim.timeout(self._io_time(nbytes))
+            self._data[key] = (value, nbytes)
+            return key
+
+        return self.sim.process(_put(), name=f"durable:put:{key}")
+
+    def get(self, key: str) -> Process:
+        def _get() -> Generator:
+            if key not in self._data:
+                raise KeyError(f"durable object {key!r} not found")
+            value, nbytes = self._data[key]
+            self.stats.gets += 1
+            self.stats.bytes_read += nbytes
+            yield self.sim.timeout(self._io_time(nbytes))
+            return value
+
+        return self.sim.process(_get(), name=f"durable:get:{key}")
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def size_of(self, key: str) -> int:
+        if key not in self._data:
+            raise KeyError(f"durable object {key!r} not found")
+        return self._data[key][1]

@@ -1,0 +1,117 @@
+"""Message and bulk-data transfer over the topology, with link contention.
+
+Each link gets a FIFO :class:`~repro.cluster.simtime.Resource`; a transfer
+holds each link on its route for the serialization time (store-and-forward,
+one link at a time) and additionally pays propagation latency per hop.
+Small control messages use a fixed frame size so that the control plane's
+hop count — the quantity Gen-2 reduces — shows up directly in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Tuple
+
+from .simtime import Process, Resource, Simulator
+from .topology import Topology
+
+__all__ = ["Network", "NetworkStats", "CONTROL_MSG_BYTES"]
+
+CONTROL_MSG_BYTES = 256
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters, inspected by the locality experiments."""
+
+    transfers: int = 0
+    messages: int = 0
+    bytes_moved: int = 0
+    bytes_by_link: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, hops, nbytes: int, is_message: bool) -> None:
+        if is_message:
+            self.messages += 1
+        else:
+            self.transfers += 1
+            self.bytes_moved += nbytes
+        for hop in hops:
+            key = tuple(sorted(hop))
+            self.bytes_by_link[key] = self.bytes_by_link.get(key, 0) + nbytes
+
+    def reset(self) -> None:
+        self.transfers = 0
+        self.messages = 0
+        self.bytes_moved = 0
+        self.bytes_by_link.clear()
+
+
+class Network:
+    """Executes transfers as simulation processes."""
+
+    def __init__(self, sim: Simulator, topology: Topology):
+        self.sim = sim
+        self.topology = topology
+        self.stats = NetworkStats()
+        self._link_slots: Dict[Tuple[str, str], Resource] = {}
+
+    def _slot(self, a: str, b: str) -> Resource:
+        key = tuple(sorted((a, b)))
+        slot = self._link_slots.get(key)
+        if slot is None:
+            slot = Resource(self.sim, capacity=1, name=f"link:{key[0]}<->{key[1]}")
+            self._link_slots[key] = slot
+        return slot
+
+    def transfer(self, src: str, dst: str, nbytes: int, label: str = "xfer") -> Process:
+        """Move ``nbytes`` from ``src`` to ``dst``; returns the process.
+
+        Zero-hop transfers (src == dst) complete after a zero timeout so
+        callers can always ``yield`` the result uniformly.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        hops = self.topology.route(src, dst)
+        self.stats.record(hops, nbytes, is_message=False)
+
+        def _move() -> Generator:
+            for a, b in hops:
+                link = self.topology.link(a, b)
+                slot = self._slot(a, b)
+                yield slot.request()
+                try:
+                    yield self.sim.timeout(nbytes / link.bandwidth)
+                finally:
+                    slot.release()
+                yield self.sim.timeout(link.latency)
+            return nbytes
+
+        return self.sim.process(_move(), name=f"net:{label}:{src}->{dst}")
+
+    def message(self, src: str, dst: str, label: str = "msg") -> Process:
+        """A small control-plane message (fixed frame, latency-dominated)."""
+        hops = self.topology.route(src, dst)
+        self.stats.record(hops, CONTROL_MSG_BYTES, is_message=True)
+
+        def _send() -> Generator:
+            for a, b in hops:
+                link = self.topology.link(a, b)
+                yield self.sim.timeout(link.transfer_time(CONTROL_MSG_BYTES))
+            return None
+
+        return self.sim.process(_send(), name=f"net:{label}:{src}->{dst}")
+
+    def rpc(self, src: str, dst: str, label: str = "rpc") -> Process:
+        """Request/response control-message pair (two one-way messages)."""
+
+        def _roundtrip() -> Generator:
+            yield self.message(src, dst, label=f"{label}:req")
+            yield self.message(dst, src, label=f"{label}:rsp")
+            return None
+
+        return self.sim.process(_roundtrip(), name=f"net:{label}:{src}<->{dst}")
+
+    def transfer_time_estimate(self, src: str, dst: str, nbytes: int) -> float:
+        """Uncontended analytic estimate (used by placement cost models)."""
+        hops = self.topology.route(src, dst)
+        return sum(self.topology.link(a, b).transfer_time(nbytes) for a, b in hops)

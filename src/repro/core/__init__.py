@@ -1,0 +1,6 @@
+"""Skadi's core: the facade tying access layer to serverless runtime."""
+
+from .planner import PlanningError, ir_to_flowgraph
+from .skadi import QueryReport, Skadi
+
+__all__ = ["Skadi", "QueryReport", "ir_to_flowgraph", "PlanningError"]

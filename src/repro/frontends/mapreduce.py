@@ -1,0 +1,118 @@
+"""MapReduce frontend: classic map/shuffle/reduce jobs as FlowGraphs.
+
+One of the execution models §1 requires the runtime to host ("BSP",
+MapReduce [16]).  A job's mapper emits a keyed RecordBatch; the keyed edge
+becomes a hash shuffle in the physical graph; the reducer folds each key
+group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from ..caching.columnar import RecordBatch, concat_batches
+from ..flowgraph.launch import launch_physical_graph
+from ..flowgraph.logical import FlowGraph
+from ..flowgraph.physical import to_physical
+from ..runtime.runtime import ServerlessRuntime
+
+__all__ = ["MapReduceJob", "group_apply"]
+
+
+def group_apply(
+    batch: RecordBatch, key: str, fn: Callable[[Any, RecordBatch], Dict[str, Any]]
+) -> RecordBatch:
+    """Apply ``fn(key_value, group_batch) -> row dict`` per key group."""
+    keys = batch.column(key)
+    order = np.argsort(keys, kind="stable")
+    sorted_batch = batch.take(order)
+    sorted_keys = sorted_batch.column(key)
+    rows: List[Dict[str, Any]] = []
+    if batch.num_rows == 0:
+        raise ValueError("group_apply over an empty batch: no schema for output")
+    boundaries = [0] + (np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1).tolist()
+    boundaries.append(batch.num_rows)
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        rows.append(fn(sorted_keys[lo], sorted_batch.slice(lo, hi - lo)))
+    columns = {name: np.asarray([r[name] for r in rows]) for name in rows[0]}
+    return RecordBatch.from_arrays(columns)
+
+
+@dataclass
+class MapReduceJob:
+    """A map/shuffle/reduce job over a RecordBatch input.
+
+    ``mapper(batch) -> RecordBatch`` must emit a column named ``key``;
+    ``reducer(key_value, group) -> row dict`` folds one key group.
+    """
+
+    mapper: Callable[[RecordBatch], RecordBatch]
+    reducer: Callable[[Any, RecordBatch], Dict[str, Any]]
+    key: str
+    map_parallelism: int = 4
+    reduce_parallelism: int = 2
+    map_cost: float = 1e-3
+    reduce_cost: float = 1e-3
+
+    def to_flowgraph(self, table_name: str = "input") -> FlowGraph:
+        graph = FlowGraph("mapreduce")
+        source = graph.add_vertex(
+            "source", source_table=table_name, parallelism=self.map_parallelism
+        )
+        mapper = self.mapper
+        reducer = self.reducer
+        key = self.key
+
+        def run_map(batch: RecordBatch) -> RecordBatch:
+            out = mapper(batch)
+            if key not in out.schema.names:
+                raise KeyError(
+                    f"mapper output is missing the shuffle key column {key!r}"
+                )
+            return out
+
+        def run_reduce(batch: RecordBatch) -> RecordBatch:
+            if batch.num_rows == 0:
+                return batch
+            return group_apply(batch, key, reducer)
+
+        map_vertex = graph.add_vertex(
+            "map",
+            py_func=run_map,
+            parallelism=self.map_parallelism,
+            compute_cost=self.map_cost,
+        )
+        reduce_vertex = graph.add_vertex(
+            "reduce",
+            py_func=run_reduce,
+            parallelism=self.reduce_parallelism,
+            compute_cost=self.reduce_cost,
+        )
+        graph.add_edge(source, map_vertex)
+        graph.add_edge(map_vertex, reduce_vertex, key=self.key)
+        graph.validate()
+        return graph
+
+    def run(
+        self, runtime: ServerlessRuntime, table: RecordBatch, table_name: str = "input"
+    ) -> RecordBatch:
+        """Execute distributed on the runtime; returns the merged result."""
+        graph = self.to_flowgraph(table_name)
+        pgraph = to_physical(graph)
+        outputs = launch_physical_graph(runtime, pgraph, tables={table_name: table})
+        reduce_vertex = next(v for v in graph.vertices.values() if v.name == "reduce")
+        shards = runtime.get(outputs[reduce_vertex.vertex_id])
+        # reduce shards that received no keys return an empty batch with the
+        # mapper's schema; drop them before merging
+        nonempty = [b for b in shards if b.num_rows]
+        if not nonempty:
+            raise ValueError("mapreduce job produced no output rows")
+        return concat_batches(nonempty)
+
+    def run_local(self, table: RecordBatch) -> RecordBatch:
+        """Single-process oracle used by tests to check the distributed run."""
+        mapped = self.mapper(table)
+        return group_apply(mapped, self.key, self.reducer)

@@ -1,0 +1,162 @@
+"""A Daphne-like lazy matrix API over the linalg dialect.
+
+§2.2: Daphne offers "abstractions like data frames, and matrix operators";
+this is the matrix half (the dataframe half lives in
+:mod:`repro.frontends.dataframe`).  Expressions build lazily; ``to_ir``
+lowers onto linalg ops, so matrix programs flow through the same passes
+(fusion!) and backend selection as everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..ir.core import Builder, Function, Value
+from ..ir.interpreter import run_function
+from ..ir.types import TensorType
+
+__all__ = ["Matrix", "param", "constant"]
+
+
+class Matrix:
+    """A lazy matrix expression; operations build an expression tree."""
+
+    def __init__(self, kind: str, payload: Any, children: Tuple["Matrix", ...],
+                 shape: Tuple[Optional[int], ...]):
+        self._kind = kind
+        self._payload = payload
+        self._children = children
+        self.shape = shape
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def param(name: str, shape: Tuple[Optional[int], ...]) -> "Matrix":
+        return Matrix("param", name, (), tuple(shape))
+
+    @staticmethod
+    def constant(value: np.ndarray) -> "Matrix":
+        value = np.asarray(value, dtype=np.float64)
+        return Matrix("constant", value, (), value.shape)
+
+    # -- algebra -----------------------------------------------------------
+
+    def _binary(self, op: str, other: "Matrix") -> "Matrix":
+        if not isinstance(other, Matrix):
+            other = Matrix.constant(np.asarray(other, dtype=np.float64))
+        shape = _broadcast_shapes(self.shape, other.shape)
+        return Matrix(op, None, (self, other), shape)
+
+    def __add__(self, other) -> "Matrix":
+        return self._binary("add", other)
+
+    def __sub__(self, other) -> "Matrix":
+        return self._binary("sub", other)
+
+    def __mul__(self, other) -> "Matrix":
+        return self._binary("mul", other)
+
+    def __truediv__(self, other) -> "Matrix":
+        return self._binary("div", other)
+
+    def __matmul__(self, other: "Matrix") -> "Matrix":
+        if not isinstance(other, Matrix):
+            other = Matrix.constant(np.asarray(other, dtype=np.float64))
+        if len(self.shape) != 2 or len(other.shape) != 2:
+            raise TypeError("matmul needs rank-2 matrices")
+        if (
+            self.shape[1] is not None
+            and other.shape[0] is not None
+            and self.shape[1] != other.shape[0]
+        ):
+            raise TypeError(f"matmul inner dims differ: {self.shape} @ {other.shape}")
+        return Matrix("matmul", None, (self, other), (self.shape[0], other.shape[1]))
+
+    def relu(self) -> "Matrix":
+        return Matrix("relu", None, (self,), self.shape)
+
+    def sigmoid(self) -> "Matrix":
+        return Matrix("sigmoid", None, (self,), self.shape)
+
+    def exp(self) -> "Matrix":
+        return Matrix("exp", None, (self,), self.shape)
+
+    def t(self) -> "Matrix":
+        if len(self.shape) != 2:
+            raise TypeError("transpose needs a rank-2 matrix")
+        return Matrix("transpose", None, (self,), (self.shape[1], self.shape[0]))
+
+    def sum(self, axis: Optional[int] = None) -> "Matrix":
+        if axis is None:
+            shape: Tuple[Optional[int], ...] = ()
+        else:
+            if not (0 <= axis < len(self.shape)):
+                raise ValueError(f"axis {axis} out of range for shape {self.shape}")
+            shape = tuple(d for i, d in enumerate(self.shape) if i != axis)
+        return Matrix("reduce_sum", axis, (self,), shape)
+
+    def mean(self, axis: Optional[int] = None) -> "Matrix":
+        out = self.sum(axis)
+        return Matrix("reduce_mean", axis, (self,), out.shape)
+
+    # -- lowering / execution -------------------------------------------------
+
+    def to_ir(self, name: str = "matrix_expr") -> Function:
+        builder = Builder(name)
+        params: Dict[str, Value] = {}
+        cache: Dict[int, Value] = {}
+
+        def emit(node: "Matrix") -> Value:
+            if id(node) in cache:
+                return cache[id(node)]
+            if node._kind == "param":
+                value = params.get(node._payload)
+                if value is None:
+                    value = builder.add_param(
+                        node._payload, TensorType(node.shape)
+                    )
+                    params[node._payload] = value
+            elif node._kind == "constant":
+                op = builder.emit("linalg", "constant", (), {"value": node._payload})
+                value = op.result()
+            elif node._kind in ("reduce_sum", "reduce_mean"):
+                attrs = {} if node._payload is None else {"axis": node._payload}
+                op = builder.emit(
+                    "linalg", node._kind, [emit(node._children[0])], attrs
+                )
+                value = op.result()
+            else:
+                op = builder.emit(
+                    "linalg", node._kind, [emit(c) for c in node._children], {}
+                )
+                value = op.result()
+            cache[id(node)] = value
+            return value
+
+        func = builder.ret(emit(self))
+        func.verify()
+        return func
+
+    def evaluate(self, inputs: Optional[Mapping[str, np.ndarray]] = None) -> np.ndarray:
+        (out,) = run_function(self.to_ir(), dict(inputs or {}))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Matrix<{self._kind}, shape={self.shape}>"
+
+
+def _broadcast_shapes(a, b):
+    # reuse the linalg dialect's dynamic-aware broadcast rules
+    from ..ir.dialects.linalg import _broadcast
+
+    return _broadcast(tuple(a), tuple(b))
+
+
+def param(name: str, shape) -> Matrix:
+    return Matrix.param(name, tuple(shape))
+
+
+def constant(value) -> Matrix:
+    return Matrix.constant(value)

@@ -1,0 +1,261 @@
+"""ML frontend: minibatch-SGD training expressed three ways.
+
+Covers the ML execution model of §1 and the SPMD/MPMD patterns of §2.3:
+
+* :class:`LinearModel` / :class:`LogisticModel` — exact local trainers
+  (numpy), used as oracles and by the examples.
+* :func:`training_flowgraph` — one training epoch unrolled into a
+  FlowGraph: data-parallel gradient vertices (hardware-agnostic, GPU/FPGA
+  eligible) feeding a parameter-update vertex, repeated per epoch — the
+  SPMD sub-graph gang scheduling exists for.
+* :class:`ParameterServer` — an actor-based asynchronous trainer over the
+  stateful serverless runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..caching.columnar import RecordBatch
+from ..flowgraph.logical import FlowGraph, Vertex
+from ..runtime.runtime import ActorHandle, ServerlessRuntime
+from ..runtime.task import ANY_COMPUTE_KIND
+
+__all__ = [
+    "LinearModel",
+    "LogisticModel",
+    "training_flowgraph",
+    "ParameterServer",
+    "make_regression",
+    "make_classification",
+]
+
+
+def make_regression(
+    n_samples: int, n_features: int, noise: float = 0.1, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic linear data: returns (X, y, true_weights)."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n_samples, n_features))
+    w = rng.standard_normal(n_features)
+    y = X @ w + noise * rng.standard_normal(n_samples)
+    return X, y, w
+
+
+def make_classification(
+    n_samples: int, n_features: int, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n_samples, n_features))
+    w = rng.standard_normal(n_features)
+    y = (X @ w + 0.1 * rng.standard_normal(n_samples) > 0).astype(np.float64)
+    return X, y
+
+
+@dataclass
+class LinearModel:
+    """Least-squares linear regression trained by minibatch SGD."""
+
+    n_features: int
+    lr: float = 0.05
+    weights: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.weights = np.zeros(self.n_features)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return X @ self.weights
+
+    def gradient(self, X: np.ndarray, y: np.ndarray, weights=None) -> np.ndarray:
+        w = self.weights if weights is None else weights
+        residual = X @ w - y
+        return 2.0 * X.T @ residual / len(y)
+
+    def step(self, X: np.ndarray, y: np.ndarray) -> float:
+        grad = self.gradient(X, y)
+        self.weights = self.weights - self.lr * grad
+        return self.loss(X, y)
+
+    def loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        residual = self.predict(X) - y
+        return float(np.mean(residual**2))
+
+    def fit(self, X: np.ndarray, y: np.ndarray, epochs: int = 50, batch_size: int = 64) -> List[float]:
+        losses = []
+        for _ in range(epochs):
+            for lo in range(0, len(y), batch_size):
+                self.step(X[lo : lo + batch_size], y[lo : lo + batch_size])
+            losses.append(self.loss(X, y))
+        return losses
+
+
+@dataclass
+class LogisticModel:
+    """Binary logistic regression trained by minibatch SGD."""
+
+    n_features: int
+    lr: float = 0.1
+    weights: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.weights = np.zeros(self.n_features)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-(X @ self.weights)))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) > 0.5).astype(np.float64)
+
+    def gradient(self, X: np.ndarray, y: np.ndarray, weights=None) -> np.ndarray:
+        w = self.weights if weights is None else weights
+        p = 1.0 / (1.0 + np.exp(-(X @ w)))
+        return X.T @ (p - y) / len(y)
+
+    def step(self, X: np.ndarray, y: np.ndarray) -> None:
+        self.weights = self.weights - self.lr * self.gradient(X, y)
+
+    def fit(self, X: np.ndarray, y: np.ndarray, epochs: int = 50, batch_size: int = 64) -> None:
+        for _ in range(epochs):
+            for lo in range(0, len(y), batch_size):
+                self.step(X[lo : lo + batch_size], y[lo : lo + batch_size])
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == y))
+
+
+def training_flowgraph(
+    X: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 3,
+    workers: int = 4,
+    lr: float = 0.05,
+) -> Tuple[FlowGraph, Vertex, Dict[str, RecordBatch]]:
+    """Unroll synchronous data-parallel SGD into a FlowGraph.
+
+    Per epoch: ``workers`` gradient vertices (each over one data shard,
+    marked hardware-agnostic so the scheduler may use GPUs/FPGAs) feed an
+    update vertex that averages gradients and steps the weights.  Weights
+    flow between epochs along graph edges; returns (graph, final weights
+    vertex, source tables).
+    """
+    if len(X) != len(y):
+        raise ValueError("X/y length mismatch")
+    n_features = X.shape[1]
+    shards = [
+        (X[i::workers].copy(), y[i::workers].copy()) for i in range(workers)
+    ]
+    graph = FlowGraph(f"sgd[{epochs}x{workers}]")
+    weights_table = RecordBatch.from_arrays({"w": np.zeros(n_features)})
+    tables = {"weights0": weights_table}
+    current = graph.add_vertex("weights0", source_table="weights0", parallelism=1)
+    grad_flops = X.size * 4.0 / max(workers, 1)
+
+    for epoch in range(epochs):
+        grad_vertices = []
+        for worker_idx in range(workers):
+            Xs, ys = shards[worker_idx]
+
+            def grad_fn(weights_batch: RecordBatch, Xs=Xs, ys=ys) -> RecordBatch:
+                w = weights_batch.column("w")
+                residual = Xs @ w - ys
+                grad = 2.0 * Xs.T @ residual / len(ys)
+                return RecordBatch.from_arrays({"g": grad})
+
+            vertex = graph.add_vertex(
+                f"grad[e{epoch},w{worker_idx}]",
+                py_func=grad_fn,
+                compute_cost=grad_flops * 1e-9,
+                supported_kinds=ANY_COMPUTE_KIND,
+            )
+            graph.add_edge(current, vertex)
+            grad_vertices.append(vertex)
+
+        def update_fn(weights_batch: RecordBatch, *grad_batches: RecordBatch) -> RecordBatch:
+            w = weights_batch.column("w")
+            grads = np.stack([g.column("g") for g in grad_batches])
+            return RecordBatch.from_arrays({"w": w - lr * grads.mean(axis=0)})
+
+        update = graph.add_vertex(
+            f"update[e{epoch}]",
+            py_func=update_fn,
+            compute_cost=n_features * 1e-8,
+        )
+        graph.add_edge(current, update, dst_port=0)
+        for port, vertex in enumerate(grad_vertices, start=1):
+            graph.add_edge(vertex, update, dst_port=port)
+        current = update
+    graph.validate()
+    return graph, current, tables
+
+
+class ParameterServer:
+    """Actor-based asynchronous SGD on the serverless runtime."""
+
+    class _State:
+        def __init__(self, n_features: int, lr: float):
+            self.weights = np.zeros(n_features)
+            self.lr = lr
+            self.updates = 0
+
+    def __init__(self, runtime: ServerlessRuntime, n_features: int, lr: float = 0.05):
+        self.runtime = runtime
+        self.n_features = n_features
+        self.handle: ActorHandle = runtime.create_actor(
+            lambda: ParameterServer._State(n_features, lr)
+        )
+
+    @staticmethod
+    def _apply(state: "ParameterServer._State", grad: np.ndarray) -> np.ndarray:
+        state.weights = state.weights - state.lr * grad
+        state.updates += 1
+        return state.weights
+
+    @staticmethod
+    def _read(state: "ParameterServer._State") -> np.ndarray:
+        return state.weights.copy()
+
+    def push_gradient(self, grad):
+        """``grad`` may be an ndarray or an ObjectRef to one."""
+        return self.handle.call(
+            ParameterServer._apply, grad, compute_cost=self.n_features * 1e-8
+        )
+
+    def get_weights(self) -> np.ndarray:
+        return self.runtime.get(self.handle.call(ParameterServer._read))
+
+    def train(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        rounds: int = 10,
+        workers: int = 4,
+    ) -> np.ndarray:
+        """Synchronous-rounds PS training: workers compute grads in
+        parallel tasks; the actor serializes updates."""
+        shards = [(X[i::workers], y[i::workers]) for i in range(workers)]
+        for _ in range(rounds):
+            weights_ref = self.handle.call(ParameterServer._read)
+
+            def make_grad(Xs, ys):
+                def grad(w):
+                    residual = Xs @ w - ys
+                    return 2.0 * Xs.T @ residual / len(ys)
+
+                return grad
+
+            grad_refs = [
+                self.runtime.submit(
+                    make_grad(Xs, ys),
+                    (weights_ref,),
+                    compute_cost=Xs.size * 4e-9,
+                    supported_kinds=ANY_COMPUTE_KIND,
+                    name="ps_grad",
+                )
+                for Xs, ys in shards
+            ]
+            update_refs = [self.push_gradient(g) for g in grad_refs]
+            self.runtime.get(update_refs)
+        return self.get_weights()

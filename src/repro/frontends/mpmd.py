@@ -1,0 +1,223 @@
+"""MPMD pipeline-parallel training over a tightly-coupled cluster.
+
+The paper's second motivating trend (§1): "giant model training has
+evolved from using SPMD to MPMD over multiple highly-specialized
+clusters" (Pathways-style).  This module implements GPipe-flavoured
+pipeline parallelism on the stateful serverless runtime: each model stage
+is an *actor* pinned to its own accelerator; microbatches flow forward
+through the stage chain and gradients flow back, with weight updates
+accumulated per epoch and applied at the epoch barrier (so results are
+bit-identical to serial full-batch training — the test oracle).
+
+The pipeline "bubble" is the idle fraction (S-1)/(M+S-1) for S stages and
+M microbatches; benchmark E11 charts how more microbatches amortize it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..cluster.hardware import DeviceKind
+from ..runtime.object_ref import ObjectRef
+from ..runtime.runtime import ActorHandle, ServerlessRuntime
+from ..runtime.task import ANY_COMPUTE_KIND
+
+__all__ = ["StageState", "PipelineParallelTrainer", "serial_reference_training"]
+
+
+class StageState:
+    """One pipeline stage: a linear layer (+ relu on hidden stages)."""
+
+    def __init__(self, in_dim: int, out_dim: int, is_last: bool, seed: int):
+        rng = np.random.default_rng(seed)
+        self.W = rng.standard_normal((in_dim, out_dim)) * (1.0 / np.sqrt(in_dim))
+        self.is_last = is_last
+        self.inputs: Dict[int, np.ndarray] = {}  # microbatch id -> cached x
+        self.pre_act: Dict[int, np.ndarray] = {}
+        self.dW_accum = np.zeros_like(self.W)
+
+    # -- the actor methods (state passed explicitly, Ray-style) ------------
+
+    @staticmethod
+    def forward(state: "StageState", mb_id: int, x: np.ndarray) -> np.ndarray:
+        z = x @ state.W
+        state.inputs[mb_id] = x
+        state.pre_act[mb_id] = z
+        return z if state.is_last else np.maximum(z, 0.0)
+
+    @staticmethod
+    def backward(state: "StageState", mb_id: int, grad_out: np.ndarray) -> np.ndarray:
+        x = state.inputs.pop(mb_id)
+        z = state.pre_act.pop(mb_id)
+        grad_z = grad_out if state.is_last else grad_out * (z > 0)
+        state.dW_accum += x.T @ grad_z
+        return grad_z @ state.W.T
+
+    @staticmethod
+    def apply_update(state: "StageState", lr: float, scale: float) -> float:
+        state.W -= lr * state.dW_accum * scale
+        norm = float(np.linalg.norm(state.dW_accum))
+        state.dW_accum = np.zeros_like(state.W)
+        return norm
+
+    @staticmethod
+    def get_weights(state: "StageState") -> np.ndarray:
+        return state.W.copy()
+
+
+@dataclass
+class PipelineParallelTrainer:
+    """GPipe-style trainer: one stage actor per accelerator."""
+
+    runtime: ServerlessRuntime
+    layer_dims: Sequence[int]  # e.g. (8, 16, 16, 1)
+    lr: float = 0.01
+    seed: int = 0
+    #: CPU-seconds for the FULL batch through one stage (per-microbatch
+    #: task cost scales with its share of the rows)
+    stage_cost: float = 1e-4
+    handles: List[ActorHandle] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.layer_dims) < 2:
+            raise ValueError("need at least one layer (two dims)")
+        num_stages = len(self.layer_dims) - 1
+        accels = [
+            d
+            for d in self.runtime.cluster.all_devices()
+            if d.kind in (DeviceKind.GPU, DeviceKind.FPGA)
+        ]
+        if len(accels) < num_stages:
+            raise ValueError(
+                f"{num_stages} stages need {num_stages} accelerators, "
+                f"cluster has {len(accels)}"
+            )
+        self.handles = []
+        for s in range(num_stages):
+            handle = self.runtime.create_actor(
+                StageState,
+                (
+                    self.layer_dims[s],
+                    self.layer_dims[s + 1],
+                    s == num_stages - 1,
+                    self.seed + s,
+                ),
+                supported_kinds=ANY_COMPUTE_KIND,
+                pinned_device=accels[s].device_id,
+            )
+            self.handles.append(handle)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.handles)
+
+    def train_epoch(self, X: np.ndarray, y: np.ndarray, microbatches: int) -> float:
+        """One pipelined epoch; returns the training loss before update."""
+        if microbatches < 1 or microbatches > len(y):
+            raise ValueError(f"bad microbatch count {microbatches}")
+        rt = self.runtime
+        xs = np.array_split(X, microbatches)
+        ys = np.array_split(y, microbatches)
+        n_total = len(y)
+
+        # forward: microbatch m through stages 0..S-1 (futures chain)
+        preds: List[ObjectRef] = []
+        loss_grads: List[ObjectRef] = []
+        for m, (xm, ym) in enumerate(zip(xs, ys)):
+            act: ObjectRef = rt.put(xm)
+            mb_cost = self.stage_cost * len(xm) / n_total
+            for handle in self.handles:
+                act = handle.call(
+                    StageState.forward, m, act, compute_cost=mb_cost
+                )
+            preds.append(act)
+
+            def loss_grad(pred, ym=ym):
+                # d/dpred of sum((pred - y)^2): epoch-summed squared loss
+                return 2.0 * (pred - ym.reshape(pred.shape))
+
+            loss_grads.append(
+                rt.submit(
+                    loss_grad,
+                    (act,),
+                    compute_cost=1e-6,
+                    supported_kinds=ANY_COMPUTE_KIND,
+                    name=f"lossgrad{m}",
+                )
+            )
+
+        # backward: gradients flow back through stages S-1..0
+        final_grads = []
+        for m, grad in enumerate(loss_grads):
+            mb_cost = self.stage_cost * len(xs[m]) / n_total
+            for handle in reversed(self.handles):
+                grad = handle.call(
+                    StageState.backward, m, grad, compute_cost=mb_cost
+                )
+            final_grads.append(grad)
+        rt.get(final_grads)
+
+        # epoch barrier: apply accumulated updates (GPipe semantics)
+        updates = [
+            handle.call(StageState.apply_update, self.lr, 1.0 / n_total)
+            for handle in self.handles
+        ]
+        rt.get(updates)
+
+        pred_values = rt.get(preds)
+        pred_all = np.concatenate([p.reshape(-1) for p in pred_values])
+        return float(np.mean((pred_all - y) ** 2))
+
+    def weights(self) -> List[np.ndarray]:
+        return self.runtime.get(
+            [h.call(StageState.get_weights) for h in self.handles]
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        out = X
+        for W, handle in zip(self.weights(), self.handles):
+            z = out @ W
+            is_last = handle is self.handles[-1]
+            out = z if is_last else np.maximum(z, 0.0)
+        return out.reshape(-1)
+
+
+def serial_reference_training(
+    layer_dims: Sequence[int],
+    X: np.ndarray,
+    y: np.ndarray,
+    epochs: int,
+    lr: float,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """The single-process oracle with identical initialization and updates."""
+    num_stages = len(layer_dims) - 1
+    rng_Ws = [
+        np.random.default_rng(seed + s).standard_normal(
+            (layer_dims[s], layer_dims[s + 1])
+        )
+        * (1.0 / np.sqrt(layer_dims[s]))
+        for s in range(num_stages)
+    ]
+    n = len(y)
+    for _ in range(epochs):
+        # forward
+        acts = [X]
+        pre = []
+        for s, W in enumerate(rng_Ws):
+            z = acts[-1] @ W
+            pre.append(z)
+            acts.append(z if s == num_stages - 1 else np.maximum(z, 0.0))
+        grad = 2.0 * (acts[-1] - y.reshape(acts[-1].shape))
+        # backward with epoch-accumulated update
+        dWs = [None] * num_stages
+        for s in reversed(range(num_stages)):
+            grad_z = grad if s == num_stages - 1 else grad * (pre[s] > 0)
+            dWs[s] = acts[s].T @ grad_z
+            grad = grad_z @ rng_Ws[s].T
+        for s in range(num_stages):
+            rng_Ws[s] = rng_Ws[s] - lr * dWs[s] / n
+    return rng_Ws

@@ -1,0 +1,21 @@
+"""SQL frontend: declarative SQL -> relational IR -> FlowGraph."""
+
+from .ast import AggCall, JoinClause, OrderItem, SelectItem, SelectStmt
+from .lexer import SQLSyntaxError, Token, tokenize
+from .parser import parse_select
+from .planner import SQLPlanError, plan_select, sql_to_ir
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "SQLSyntaxError",
+    "parse_select",
+    "SelectStmt",
+    "SelectItem",
+    "JoinClause",
+    "OrderItem",
+    "AggCall",
+    "plan_select",
+    "sql_to_ir",
+    "SQLPlanError",
+]

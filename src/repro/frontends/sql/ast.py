@@ -1,0 +1,74 @@
+"""AST nodes for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ...ir.expr import Expr
+
+__all__ = ["SelectItem", "JoinClause", "OrderItem", "SelectStmt", "AggCall"]
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """SUM(x) / COUNT(*) / AVG(expr) / MIN(x) / MAX(x) inside a select list.
+
+    ``column`` is set for plain-column aggregates; ``expr`` for aggregates
+    over scalar expressions (the planner pre-projects those).  COUNT(*)
+    has neither.
+    """
+
+    fn: str  # normalized: sum|count|mean|min|max
+    column: Optional[str]
+    expr: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: object  # Expr | AggCall
+    alias: Optional[str]
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, AggCall):
+            return f"{self.expr.fn}_{self.expr.column or 'all'}"
+        from ...ir.expr import Col
+
+        if isinstance(self.expr, Col):
+            return self.expr.name
+        return "expr"
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: str
+    left_on: str
+    right_on: str
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    ascending: bool = True
+
+
+@dataclass
+class SelectStmt:
+    items: List[SelectItem]
+    table: str
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[str] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.group_by) or any(
+            isinstance(i.expr, AggCall) for i in self.items
+        )

@@ -1,0 +1,75 @@
+"""SQL tokenizer for the declarative tier's SQL frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Token", "tokenize", "SQLSyntaxError", "KEYWORDS"]
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "join", "inner", "on", "as", "and", "or", "not", "asc", "desc",
+    "between", "in", "sum", "count", "avg", "min", "max", "true", "false",
+}
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "==", "=", "<", ">", "+", "-", "*", "/", "%",
+            "(", ")", ",", ".")
+
+
+class SQLSyntaxError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "kw" | "ident" | "number" | "string" | "sym" | "eof"
+    text: str
+    pos: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = sql.find("'", i + 1)
+            if j < 0:
+                raise SQLSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token("string", sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or sql[j] == "."
+                j += 1
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            kind = "kw" if word.lower() in KEYWORDS else "ident"
+            tokens.append(Token(kind, word.lower() if kind == "kw" else word, i))
+            i = j
+            continue
+        for sym in _SYMBOLS:
+            if sql.startswith(sym, i):
+                tokens.append(Token("sym", sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

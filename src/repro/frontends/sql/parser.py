@@ -1,0 +1,255 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (lowercased keywords shown; input is case-insensitive):
+
+    select_stmt := SELECT select_list FROM ident join* [WHERE expr]
+                   [GROUP BY ident_list] [HAVING expr]
+                   [ORDER BY order_list] [LIMIT number]
+    join        := JOIN ident ON qualified = qualified
+    select_list := '*' | item (',' item)*
+    item        := (agg '(' (ident|'*') ')' | expr) [AS ident]
+    expr        := or-chain of and-chains of comparisons of +- of */ of unary
+
+Qualified names ``t.col`` are accepted; the table part is dropped (joined
+frames use the left-frame/``r_``-prefix convention of relational.join).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...ir.expr import BinOp, Col, Expr, Lit, UnaryOp
+from .ast import AggCall, JoinClause, OrderItem, SelectItem, SelectStmt
+from .lexer import SQLSyntaxError, Token, tokenize
+
+__all__ = ["parse_select", "SQLSyntaxError"]
+
+_AGG_NAMES = {"sum": "sum", "count": "count", "avg": "mean", "min": "min", "max": "max"}
+_CMP = {"=": "==", "==": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.tokens = tokenize(sql)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.cur.kind == kind and (text is None or self.cur.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text or kind
+            raise SQLSyntaxError(
+                f"expected {want!r}, got {self.cur.text!r} at position {self.cur.pos}"
+            )
+        return tok
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> SelectStmt:
+        self.expect("kw", "select")
+        distinct = self.accept("kw", "distinct") is not None
+        items = self._select_list()
+        self.expect("kw", "from")
+        table = self.expect("ident").text
+        joins = []
+        while self.cur.kind == "kw" and self.cur.text in ("join", "inner"):
+            joins.append(self._join())
+        where = None
+        if self.accept("kw", "where"):
+            where = self._expr()
+        group_by: List[str] = []
+        if self.accept("kw", "group"):
+            self.expect("kw", "by")
+            group_by.append(self._column_name())
+            while self.accept("sym", ","):
+                group_by.append(self._column_name())
+        having = None
+        if self.accept("kw", "having"):
+            having = self._expr()
+        order_by: List[OrderItem] = []
+        if self.accept("kw", "order"):
+            self.expect("kw", "by")
+            order_by.append(self._order_item())
+            while self.accept("sym", ","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept("kw", "limit"):
+            limit = int(self.expect("number").text)
+        self.expect("eof")
+        return SelectStmt(
+            items=items,
+            table=table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _join(self) -> JoinClause:
+        self.accept("kw", "inner")
+        self.expect("kw", "join")
+        table = self.expect("ident").text
+        self.expect("kw", "on")
+        left = self._column_name()
+        self.expect("sym", "=")
+        right = self._column_name()
+        return JoinClause(table=table, left_on=left, right_on=right)
+
+    def _select_list(self) -> List[SelectItem]:
+        if self.accept("sym", "*"):
+            return []  # empty select list means SELECT *
+        items = [self._select_item()]
+        while self.accept("sym", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        expr: object
+        if self.cur.kind == "kw" and self.cur.text in _AGG_NAMES:
+            fn = _AGG_NAMES[self.advance().text]
+            self.expect("sym", "(")
+            if self.accept("sym", "*"):
+                if fn != "count":
+                    raise SQLSyntaxError(f"{fn}(*) is not valid SQL")
+                expr = AggCall(fn, None)
+            else:
+                inner = self._expr()
+                if isinstance(inner, Col):
+                    expr = AggCall(fn, inner.name)
+                else:
+                    expr = AggCall(fn, None, expr=inner)
+            self.expect("sym", ")")
+        else:
+            expr = self._expr()
+        alias = None
+        if self.accept("kw", "as"):
+            alias = self.expect("ident").text
+        return SelectItem(expr=expr, alias=alias)
+
+    def _order_item(self) -> OrderItem:
+        column = self._column_name()
+        ascending = True
+        if self.accept("kw", "desc"):
+            ascending = False
+        else:
+            self.accept("kw", "asc")
+        return OrderItem(column=column, ascending=ascending)
+
+    def _column_name(self) -> str:
+        name = self.expect("ident").text
+        if self.accept("sym", "."):
+            name = self.expect("ident").text  # drop the qualifier
+        return name
+
+    # -- expressions (precedence climbing) --------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self.accept("kw", "or"):
+            left = BinOp("or", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._not()
+        while self.accept("kw", "and"):
+            left = BinOp("and", left, self._not())
+        return left
+
+    def _not(self) -> Expr:
+        if self.accept("kw", "not"):
+            return UnaryOp("not", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        if self.cur.kind == "sym" and self.cur.text in _CMP:
+            op = _CMP[self.advance().text]
+            return BinOp(op, left, self._additive())
+        if self.accept("kw", "between"):
+            lo = self._additive()
+            self.expect("kw", "and")
+            hi = self._additive()
+            return BinOp("and", BinOp(">=", left, lo), BinOp("<=", left, hi))
+        if self.cur.kind == "kw" and self.cur.text in ("in", "not"):
+            negated = self.accept("kw", "not") is not None
+            if negated and not (self.cur.kind == "kw" and self.cur.text == "in"):
+                raise SQLSyntaxError(
+                    f"expected IN after NOT at position {self.cur.pos}"
+                )
+            if self.accept("kw", "in"):
+                self.expect("sym", "(")
+                values = [self._additive()]
+                while self.accept("sym", ","):
+                    values.append(self._additive())
+                self.expect("sym", ")")
+                expr: Expr = BinOp("==", left, values[0])
+                for value in values[1:]:
+                    expr = BinOp("or", expr, BinOp("==", left, value))
+                return UnaryOp("not", expr) if negated else expr
+            # bare NOT after an operand is not valid here
+            raise SQLSyntaxError(f"unexpected NOT at position {self.cur.pos}")
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self.cur.kind == "sym" and self.cur.text in ("+", "-"):
+            op = self.advance().text
+            left = BinOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while self.cur.kind == "sym" and self.cur.text in ("*", "/", "%"):
+            op = self.advance().text
+            left = BinOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self.accept("sym", "-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        if self.accept("sym", "("):
+            inner = self._expr()
+            self.expect("sym", ")")
+            return inner
+        if self.cur.kind == "number":
+            text = self.advance().text
+            return Lit(float(text) if "." in text else int(text))
+        if self.cur.kind == "string":
+            return Lit(self.advance().text)
+        if self.cur.kind == "kw" and self.cur.text in ("true", "false"):
+            return Lit(self.advance().text == "true")
+        if self.cur.kind == "ident":
+            return Col(self._column_name())
+        raise SQLSyntaxError(
+            f"unexpected token {self.cur.text!r} at position {self.cur.pos}"
+        )
+
+
+def parse_select(sql: str) -> SelectStmt:
+    """Parse one SELECT statement (trailing semicolon allowed)."""
+    sql = sql.strip().rstrip(";")
+    return _Parser(sql).parse()

@@ -1,0 +1,181 @@
+"""Plan a parsed SELECT into relational-dialect IR.
+
+The planner is the "domain-specific parser" of §2.1 step (1): declarations
+are "translated onto a common graph", here a single-function relational IR
+that the shared lowering/optimization pipeline takes from there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from ...ir.core import Builder, Function, Operation
+from ...ir.expr import Col, Expr
+from ...ir.types import FrameType
+from .ast import AggCall, SelectStmt
+from .parser import parse_select
+
+__all__ = ["plan_select", "sql_to_ir", "SQLPlanError"]
+
+
+class SQLPlanError(ValueError):
+    pass
+
+
+def _expr_dtype(expr: Expr, frame: FrameType) -> str:
+    """Infer a result dtype for a scalar expression over ``frame``."""
+    cols = expr.referenced_columns()
+    if not cols:
+        return "float64"
+    dtypes = {frame.dtype_of(c) for c in cols}
+    if len(dtypes) == 1:
+        only = next(iter(dtypes))
+        if isinstance(expr, Col):
+            return only
+    # comparisons yield bool; arithmetic promotes to float64
+    text = repr(expr)
+    if any(op in text for op in ("==", "!=", "<", ">", " and ", " or ")):
+        return "bool"
+    return "float64"
+
+
+def plan_select(
+    stmt: SelectStmt, catalog: Mapping[str, FrameType], name: str = "query"
+) -> Function:
+    """Lower a SELECT statement onto relational IR ops."""
+    builder = Builder(name)
+    if stmt.table not in catalog:
+        raise SQLPlanError(f"unknown table {stmt.table!r}; have {sorted(catalog)}")
+    current = builder.emit(
+        "relational", "scan", (), {"table": stmt.table, "schema": catalog[stmt.table]}
+    )
+
+    for join in stmt.joins:
+        if join.table not in catalog:
+            raise SQLPlanError(f"unknown join table {join.table!r}")
+        right = builder.emit(
+            "relational",
+            "scan",
+            (),
+            {"table": join.table, "schema": catalog[join.table]},
+        )
+        current = builder.emit(
+            "relational",
+            "join",
+            [current.result(), right.result()],
+            {"left_on": join.left_on, "right_on": join.right_on},
+        )
+
+    if stmt.where is not None:
+        current = builder.emit(
+            "relational", "filter", [current.result()], {"pred": stmt.where}
+        )
+
+    if stmt.is_aggregate:
+        current = _plan_aggregate(builder, stmt, current)
+    elif stmt.items:
+        current = _plan_projection(builder, stmt, current)
+
+    if stmt.distinct and not stmt.is_aggregate:  # GROUP BY already dedups keys
+        current = builder.emit("relational", "distinct", [current.result()], {})
+
+    if stmt.having is not None:
+        if not stmt.is_aggregate:
+            raise SQLPlanError("HAVING requires GROUP BY / aggregates")
+        current = builder.emit(
+            "relational", "filter", [current.result()], {"pred": stmt.having}
+        )
+
+    if stmt.order_by:
+        directions = {o.ascending for o in stmt.order_by}
+        if len(directions) > 1:
+            raise SQLPlanError("mixed ASC/DESC sort directions are not supported")
+        current = builder.emit(
+            "relational",
+            "sort",
+            [current.result()],
+            {
+                "by": tuple(o.column for o in stmt.order_by),
+                "ascending": stmt.order_by[0].ascending,
+            },
+        )
+
+    if stmt.limit is not None:
+        current = builder.emit(
+            "relational", "limit", [current.result()], {"n": stmt.limit}
+        )
+
+    func = builder.ret(current.result())
+    func.verify()
+    return func
+
+
+def _plan_projection(builder: Builder, stmt: SelectStmt, current: Operation) -> Operation:
+    frame = current.result().type
+    assert isinstance(frame, FrameType)
+    columns: List[str] = []
+    derived: List[Tuple[str, Expr, str]] = []
+    for item in stmt.items:
+        expr = item.expr
+        assert isinstance(expr, Expr)
+        if isinstance(expr, Col) and item.alias is None:
+            columns.append(expr.name)
+        else:
+            derived.append((item.output_name, expr, _expr_dtype(expr, frame)))
+    return builder.emit(
+        "relational",
+        "project",
+        [current.result()],
+        {"columns": tuple(columns), "derived": tuple(derived)},
+    )
+
+
+def _plan_aggregate(builder: Builder, stmt: SelectStmt, current: Operation) -> Operation:
+    frame = current.result().type
+    assert isinstance(frame, FrameType)
+    keys = tuple(stmt.group_by)
+    aggs: List[Tuple[str, str, str]] = []
+    derived_inputs: List[Tuple[str, Expr, str]] = []  # SUM(expr) pre-projection
+    for item in stmt.items:
+        expr = item.expr
+        if isinstance(expr, AggCall):
+            if expr.expr is not None:  # aggregate over a scalar expression
+                tmp = f"__agg_in{len(derived_inputs)}"
+                derived_inputs.append((tmp, expr.expr, "float64"))
+                aggs.append((item.output_name, expr.fn, tmp))
+                continue
+            column = expr.column
+            if column is None:  # COUNT(*)
+                column = frame.names[0]
+            aggs.append((item.output_name, expr.fn, column))
+        elif isinstance(expr, Col):
+            if expr.name not in keys:
+                raise SQLPlanError(
+                    f"non-aggregated column {expr.name!r} must appear in GROUP BY"
+                )
+        else:
+            raise SQLPlanError(
+                "aggregate queries may only select group keys and aggregates"
+            )
+    if not aggs:
+        raise SQLPlanError("GROUP BY without any aggregate in the select list")
+    if derived_inputs:
+        current = builder.emit(
+            "relational",
+            "project",
+            [current.result()],
+            {"columns": tuple(frame.names), "derived": tuple(derived_inputs)},
+        )
+    return builder.emit(
+        "relational",
+        "aggregate",
+        [current.result()],
+        {"keys": keys, "aggs": tuple(aggs)},
+    )
+
+
+def sql_to_ir(
+    sql: str, catalog: Mapping[str, FrameType], name: str = "query"
+) -> Function:
+    """Parse + plan in one step."""
+    return plan_select(parse_select(sql), catalog, name=name)

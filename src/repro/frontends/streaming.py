@@ -1,0 +1,211 @@
+"""Streaming frontend: discretized micro-batch streams on the runtime.
+
+§1 requires the runtime to host systems with a "streaming" execution
+model (Naiad, D-Streams).  Following the D-Streams design, a stream is a
+sequence of micro-batches; operators are stateless batch transforms plus
+windowed aggregations whose state lives in the caching layer between
+micro-batches — stateful serverless functions in the paper's sense.
+
+:class:`StreamJob` executes a pipeline of operators over the runtime,
+one task per (micro-batch, operator), chaining futures so micro-batch
+t+1's ingest overlaps micro-batch t's processing (pipeline parallelism
+along the stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from ..caching.columnar import RecordBatch, concat_batches
+from ..ir.expr import Expr
+from ..ir.kernels import k_aggregate, k_filter, k_project
+from ..runtime.object_ref import ObjectRef
+from ..runtime.runtime import ServerlessRuntime
+
+__all__ = [
+    "StreamOp",
+    "MapOp",
+    "FilterOp",
+    "WindowAggregate",
+    "StreamJob",
+    "micro_batches",
+]
+
+
+def micro_batches(
+    batch: RecordBatch, batch_rows: int
+) -> List[RecordBatch]:
+    """Discretize a table into a stream of micro-batches."""
+    if batch_rows < 1:
+        raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
+    out = []
+    for lo in range(0, batch.num_rows, batch_rows):
+        out.append(batch.slice(lo, batch_rows))
+    return out
+
+
+class StreamOp:
+    """A streaming operator: transforms one micro-batch (plus state)."""
+
+    #: operators with state carry it between micro-batches
+    stateful = False
+
+    def apply(self, batch: RecordBatch, state: Any) -> tuple:
+        """Returns (output_batch, new_state)."""
+        raise NotImplementedError
+
+    def initial_state(self) -> Any:
+        return None
+
+
+@dataclass
+class MapOp(StreamOp):
+    """Per-batch projection (columns plus derived expressions)."""
+
+    columns: tuple = ()
+    derived: tuple = ()  # (name, Expr, dtype)
+
+    def apply(self, batch: RecordBatch, state: Any) -> tuple:
+        out = k_project(
+            {"columns": self.columns, "derived": self.derived}, batch
+        )
+        return out, state
+
+
+@dataclass
+class FilterOp(StreamOp):
+    pred: Expr = None
+
+    def apply(self, batch: RecordBatch, state: Any) -> tuple:
+        return k_filter({"pred": self.pred}, batch), state
+
+
+@dataclass
+class WindowAggregate(StreamOp):
+    """Windowed grouped aggregation over micro-batches.
+
+    With ``slide == window`` (the default) windows tumble: each batch
+    belongs to exactly one window.  With ``slide < window`` windows
+    overlap: one closes every ``slide`` batches, covering the last
+    ``window`` batches.  Between closings the operator emits an empty
+    batch with the output schema.  State (the pending batches plus a
+    position counter) lives in the caching layer between micro-batches.
+    """
+
+    keys: tuple = ()
+    aggs: tuple = ()  # (out_name, fn, col)
+    window: int = 4
+    slide: Optional[int] = None  # None: tumbling (slide == window)
+
+    stateful = True
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not self.aggs:
+            raise ValueError("WindowAggregate needs at least one aggregate")
+        if self.slide is None:
+            self.slide = self.window
+        if not (1 <= self.slide <= self.window):
+            raise ValueError(
+                f"slide must be in [1, window]; got slide={self.slide}, "
+                f"window={self.window}"
+            )
+
+    def initial_state(self) -> Any:
+        return ([], 0)  # (pending batches, batches seen)
+
+    def _empty_output(self, sample: RecordBatch) -> RecordBatch:
+        full = k_aggregate(
+            {"keys": self.keys, "aggs": self.aggs},
+            sample.slice(0, 1),
+        )
+        return full.slice(0, 0)
+
+    def apply(self, batch: RecordBatch, state: Any) -> tuple:
+        pending, seen = state
+        pending = list(pending) + [batch]
+        seen += 1
+        if len(pending) > self.window:
+            pending = pending[-self.window :]
+        closes = seen >= self.window and (seen - self.window) % self.slide == 0
+        if not closes:
+            return self._empty_output(batch), (pending, seen)
+        window_data = concat_batches(pending)
+        out = k_aggregate({"keys": self.keys, "aggs": self.aggs}, window_data)
+        if self.slide == self.window:
+            pending = []  # tumbling: state resets entirely
+        return out, (pending, seen)
+
+
+@dataclass
+class StreamJob:
+    """A linear pipeline of streaming operators run on the runtime."""
+
+    ops: Sequence[StreamOp]
+    op_cost: float = 1e-4
+
+    def run(
+        self,
+        runtime: ServerlessRuntime,
+        batches: Sequence[RecordBatch],
+        collect: bool = True,
+    ) -> List[RecordBatch]:
+        """Process the stream; returns the per-micro-batch final outputs."""
+        if not batches:
+            raise ValueError("empty stream")
+        state_refs: List[Optional[ObjectRef]] = [
+            runtime.put(op.initial_state()) if op.stateful else None
+            for op in self.ops
+        ]
+        out_refs: List[ObjectRef] = []
+        for t, batch in enumerate(batches):
+            current = runtime.put(batch)
+            for i, op in enumerate(self.ops):
+                if op.stateful:
+
+                    def run_stateful(b, s, op=op):
+                        return op.apply(b, s)
+
+                    pair_ref = runtime.submit(
+                        run_stateful,
+                        (current, state_refs[i]),
+                        compute_cost=self.op_cost,
+                        name=f"t{t}:{type(op).__name__}",
+                    )
+                    current = runtime.submit(
+                        lambda pair: pair[0], (pair_ref,),
+                        compute_cost=1e-6, name=f"t{t}:out{i}",
+                    )
+                    state_refs[i] = runtime.submit(
+                        lambda pair: pair[1], (pair_ref,),
+                        compute_cost=1e-6, name=f"t{t}:state{i}",
+                    )
+                else:
+
+                    def run_stateless(b, op=op):
+                        return op.apply(b, None)[0]
+
+                    current = runtime.submit(
+                        run_stateless,
+                        (current,),
+                        compute_cost=self.op_cost,
+                        name=f"t{t}:{type(op).__name__}",
+                    )
+            out_refs.append(current)
+        if not collect:
+            runtime.run()
+            return []
+        return runtime.get(out_refs)
+
+    def run_local(self, batches: Sequence[RecordBatch]) -> List[RecordBatch]:
+        """Single-process oracle."""
+        states = [op.initial_state() for op in self.ops]
+        outputs = []
+        for batch in batches:
+            current = batch
+            for i, op in enumerate(self.ops):
+                current, states[i] = op.apply(current, states[i])
+            outputs.append(current)
+        return outputs

@@ -1,0 +1,161 @@
+"""Hardware backends for IR ops, with per-op cost models.
+
+§2.2: "A key benefit of using hardware-agnostic IR is that we can lower a
+single piece of code to multiple hardware backends, based on a set of
+predefined policies."  Each :class:`Backend` declares which ops it can
+execute and estimates their cost; :func:`select_backends` annotates a
+function's ops with the policy's choice, and can also *split* one op onto
+several backends for direct comparison (Figure 2's D -> D1/D2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..cluster.hardware import DeviceKind
+from .core import Function, Operation
+from .types import FrameType, TensorType
+
+__all__ = [
+    "Backend",
+    "CPU_BACKEND",
+    "GPU_BACKEND",
+    "FPGA_BACKEND",
+    "ALL_BACKENDS",
+    "SelectionPolicy",
+    "select_backends",
+    "op_work_elements",
+]
+
+
+def op_work_elements(op: Operation, default_rows: int = 100_000) -> float:
+    """Rough work size of an op in 'elements touched'."""
+    total = 0.0
+    values = list(op.operands) + list(op.results)
+    for value in values:
+        t = value.type
+        if isinstance(t, TensorType):
+            n = t.num_elements()
+            total += float(n) if n is not None else float(default_rows)
+        elif isinstance(t, FrameType):
+            rows = t.num_rows if t.num_rows is not None else default_rows
+            total += float(rows) * len(t.columns)
+    if op.qualified == "linalg.matmul":
+        a = op.operands[0].type
+        b = op.operands[1].type
+        if isinstance(a, TensorType) and isinstance(b, TensorType):
+            m = a.shape[0] or default_rows
+            k = a.shape[1] or default_rows
+            n = b.shape[1] or default_rows
+            return float(m * k * n)
+    return max(total, 1.0)
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One lowering target: which ops it supports and what they cost."""
+
+    name: str
+    device_kind: DeviceKind
+    throughput: float  # elements/second for supported ops
+    launch_overhead: float  # seconds per op launch
+    supported: Tuple[str, ...] = ()  # qualified op prefixes; () = everything
+
+    def supports(self, op: Operation) -> bool:
+        if not self.supported:
+            return True
+        return any(
+            op.qualified == p or op.qualified.startswith(p + ".") or op.dialect == p
+            for p in self.supported
+        )
+
+    def cost(self, op: Operation, default_rows: int = 100_000) -> float:
+        work = op_work_elements(op, default_rows)
+        return self.launch_overhead + work / self.throughput
+
+
+CPU_BACKEND = Backend(
+    name="cpu",
+    device_kind=DeviceKind.CPU,
+    throughput=2e9,
+    launch_overhead=2e-6,
+)
+
+GPU_BACKEND = Backend(
+    name="gpu",
+    device_kind=DeviceKind.GPU,
+    throughput=8e10,
+    launch_overhead=2e-5,
+    # GPUs run the tensor dialect and bulk frame kernels (the cudf ops),
+    # but not arbitrary scans or handcrafted escapes.
+    supported=("linalg", "df.where", "df.select", "df.hash_join", "df.hash_aggregate", "kernel.fused"),
+)
+
+FPGA_BACKEND = Backend(
+    name="fpga",
+    device_kind=DeviceKind.FPGA,
+    throughput=2.4e10,
+    launch_overhead=8e-6,
+    # A streaming-friendly subset: filters, projections, elementwise math.
+    supported=("df.where", "df.select", "linalg.add", "linalg.mul", "linalg.relu",
+               "linalg.sigmoid", "kernel.fused"),
+)
+
+ALL_BACKENDS: Tuple[Backend, ...] = (CPU_BACKEND, GPU_BACKEND, FPGA_BACKEND)
+
+
+class SelectionPolicy(enum.Enum):
+    CPU_ONLY = "cpu_only"  # the pre-DSA baseline
+    CHEAPEST = "cheapest"  # predefined rule: per-op argmin of the cost model
+    PREFER_ACCELERATOR = "prefer_accelerator"  # accelerator whenever supported
+
+
+def select_backends(
+    func: Function,
+    backends: Sequence[Backend] = ALL_BACKENDS,
+    policy: SelectionPolicy = SelectionPolicy.CHEAPEST,
+    default_rows: int = 100_000,
+) -> Dict[str, str]:
+    """Annotate every op with attrs['backend']; returns {op repr: backend}.
+
+    Ops no accelerator supports fall back to the CPU backend, which must be
+    in ``backends``.
+    """
+    cpu = next((b for b in backends if b.device_kind == DeviceKind.CPU), None)
+    if cpu is None:
+        raise ValueError("backend selection requires a CPU backend as fallback")
+    chosen: Dict[str, str] = {}
+    for i, op in enumerate(func.ops):
+        candidates = [b for b in backends if b.supports(op)]
+        if not candidates:
+            candidates = [cpu]
+        if policy == SelectionPolicy.CPU_ONLY:
+            pick = cpu
+        elif policy == SelectionPolicy.CHEAPEST:
+            pick = min(candidates, key=lambda b: (b.cost(op, default_rows), b.name))
+        elif policy == SelectionPolicy.PREFER_ACCELERATOR:
+            accel = [b for b in candidates if b.device_kind.is_accelerator]
+            pick = min(accel, key=lambda b: (b.cost(op, default_rows), b.name)) if accel else cpu
+        else:
+            raise ValueError(f"unknown policy {policy}")
+        op.attrs["backend"] = pick.name
+        chosen[f"{i}:{op.qualified}"] = pick.name
+    return chosen
+
+
+def estimated_cost(
+    func: Function,
+    backends: Sequence[Backend] = ALL_BACKENDS,
+    default_rows: int = 100_000,
+) -> float:
+    """Total modeled cost of a function with its current backend annotations."""
+    by_name = {b.name: b for b in backends}
+    total = 0.0
+    for op in func.ops:
+        backend = by_name.get(op.attrs.get("backend", "cpu"))
+        if backend is None:
+            raise KeyError(f"op {op.qualified} annotated with unknown backend")
+        total += backend.cost(op, default_rows)
+    return total

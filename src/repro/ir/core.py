@@ -1,0 +1,238 @@
+"""SSA core of the multi-level IR: values, operations, functions, modules.
+
+Mirrors MLIR's structure at the scale this project needs: a flat SSA region
+per function, dialect-namespaced operations with attribute dictionaries,
+type inference supplied by each dialect's op definitions, a verifier, and a
+deterministic textual form used in golden tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .types import IRType
+
+__all__ = [
+    "Value",
+    "Operation",
+    "Function",
+    "Module",
+    "Builder",
+    "OpDef",
+    "register_op",
+    "op_def",
+    "IRVerificationError",
+]
+
+
+class IRVerificationError(RuntimeError):
+    pass
+
+
+@dataclass(eq=False)
+class Value:
+    """An SSA value: produced once, used many times."""
+
+    name: str
+    type: IRType
+    producer: Optional["Operation"] = None
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+# -- op registry ----------------------------------------------------------------
+
+InferFn = Callable[[Sequence[IRType], Dict[str, Any]], List[IRType]]
+
+
+@dataclass(frozen=True)
+class OpDef:
+    dialect: str
+    name: str
+    infer: InferFn
+    elementwise: bool = False  # fusable into pointwise kernels
+    num_operands: Optional[int] = None  # None: variadic
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.dialect}.{self.name}"
+
+
+_OP_REGISTRY: Dict[Tuple[str, str], OpDef] = {}
+
+
+def register_op(defn: OpDef) -> OpDef:
+    key = (defn.dialect, defn.name)
+    if key in _OP_REGISTRY:
+        raise ValueError(f"op {defn.qualified} already registered")
+    _OP_REGISTRY[key] = defn
+    return defn
+
+
+def op_def(dialect: str, name: str) -> OpDef:
+    defn = _OP_REGISTRY.get((dialect, name))
+    if defn is None:
+        raise KeyError(f"unknown op {dialect}.{name}")
+    return defn
+
+
+@dataclass(eq=False)
+class Operation:
+    dialect: str
+    name: str
+    operands: List[Value]
+    attrs: Dict[str, Any]
+    results: List[Value] = field(default_factory=list)
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.dialect}.{self.name}"
+
+    @property
+    def defn(self) -> OpDef:
+        return op_def(self.dialect, self.name)
+
+    def result(self, index: int = 0) -> Value:
+        return self.results[index]
+
+    def __repr__(self) -> str:
+        ops = ", ".join(repr(v) for v in self.operands)
+        return f"{self.qualified}({ops})"
+
+
+class Function:
+    """A flat SSA function: params, an op list, and returned values."""
+
+    def __init__(self, name: str, params: List[Value]):
+        self.name = name
+        self.params = params
+        self.ops: List[Operation] = []
+        self.returns: List[Value] = []
+
+    def verify(self) -> None:
+        defined = {id(v) for v in self.params}
+        for op in self.ops:
+            for operand in op.operands:
+                if id(operand) not in defined:
+                    raise IRVerificationError(
+                        f"{self.name}: {op.qualified} uses {operand!r} before definition"
+                    )
+            defn = op.defn
+            if defn.num_operands is not None and len(op.operands) != defn.num_operands:
+                raise IRVerificationError(
+                    f"{self.name}: {op.qualified} expects {defn.num_operands} operands, "
+                    f"got {len(op.operands)}"
+                )
+            inferred = defn.infer([v.type for v in op.operands], op.attrs)
+            if len(inferred) != len(op.results):
+                raise IRVerificationError(
+                    f"{self.name}: {op.qualified} result arity mismatch"
+                )
+            for value, expected in zip(op.results, inferred):
+                if value.type != expected:
+                    raise IRVerificationError(
+                        f"{self.name}: {op.qualified} result {value!r} has type "
+                        f"{value.type!r}, inference says {expected!r}"
+                    )
+                defined.add(id(value))
+        for ret in self.returns:
+            if id(ret) not in defined:
+                raise IRVerificationError(
+                    f"{self.name}: returns undefined value {ret!r}"
+                )
+
+    def to_text(self) -> str:
+        lines = []
+        params = ", ".join(f"%{p.name}: {p.type!r}" for p in self.params)
+        rets = ", ".join(repr(v.type) for v in self.returns)
+        lines.append(f"func @{self.name}({params}) -> ({rets}) {{")
+        for op in self.ops:
+            results = ", ".join(repr(v) for v in op.results)
+            operands = ", ".join(repr(v) for v in op.operands)
+            attrs = ""
+            if op.attrs:
+                inner = ", ".join(
+                    f"{k}={_fmt_attr(op.attrs[k])}" for k in sorted(op.attrs)
+                )
+                attrs = f" {{{inner}}}"
+            types = ", ".join(repr(v.type) for v in op.results)
+            lines.append(f"  {results} = {op.qualified}({operands}){attrs} : {types}")
+        returns = ", ".join(repr(v) for v in self.returns)
+        lines.append(f"  return {returns}")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def uses(self) -> Dict[int, List[Operation]]:
+        """value id -> consuming ops (plus None marker for returns)."""
+        table: Dict[int, List[Operation]] = {}
+        for op in self.ops:
+            for operand in op.operands:
+                table.setdefault(id(operand), []).append(op)
+        return table
+
+
+def _fmt_attr(value: Any) -> str:
+    if callable(value):
+        return getattr(value, "__name__", "fn")
+    return repr(value)
+
+
+class Module:
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+
+    def add(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"function {func.name!r} already in module")
+        self.functions[func.name] = func
+        return func
+
+    def func(self, name: str) -> Function:
+        if name not in self.functions:
+            raise KeyError(f"no function {name!r}; have {sorted(self.functions)}")
+        return self.functions[name]
+
+    def verify(self) -> None:
+        for func in self.functions.values():
+            func.verify()
+
+    def to_text(self) -> str:
+        return "\n\n".join(f.to_text() for f in self.functions.values())
+
+
+class Builder:
+    """Append-only construction of a function's SSA body."""
+
+    def __init__(self, name: str):
+        self._counter = itertools.count()
+        self.function = Function(name, params=[])
+
+    def add_param(self, name: str, type_: IRType) -> Value:
+        value = Value(name, type_)
+        self.function.params.append(value)
+        return value
+
+    def emit(
+        self,
+        dialect: str,
+        name: str,
+        operands: Sequence[Value] = (),
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Operation:
+        defn = op_def(dialect, name)
+        attrs = dict(attrs or {})
+        result_types = defn.infer([v.type for v in operands], attrs)
+        op = Operation(dialect, name, list(operands), attrs)
+        op.results = [
+            Value(f"v{next(self._counter)}", t, producer=op) for t in result_types
+        ]
+        self.function.ops.append(op)
+        return op
+
+    def ret(self, *values: Value) -> Function:
+        self.function.returns = list(values)
+        return self.function

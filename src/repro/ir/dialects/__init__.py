@@ -1,0 +1,5 @@
+"""Dialect registration: importing this package registers all ops."""
+
+from . import relational, df, linalg, kernel  # noqa: F401  (registration side effects)
+
+__all__ = ["relational", "df", "linalg", "kernel"]

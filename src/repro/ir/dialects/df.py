@@ -1,0 +1,24 @@
+"""The ``df`` dialect: physical dataframe operations on record batches.
+
+The mid-level of the IR (the Daphne-like tier): relational ops lower onto
+these with algorithm choices made explicit (hash join, hash aggregate).
+``where`` and ``derive`` are elementwise and thus fusable by the
+``FuseElementwise`` pass into single kernels.
+"""
+
+from __future__ import annotations
+
+from ..core import OpDef, register_op
+from . import relational as _rel
+
+# The df dialect's physical ops share the relational inference rules — the
+# type algebra is identical; only execution strategy differs.
+
+register_op(OpDef("df", "source", _rel._infer_scan, num_operands=0))
+register_op(OpDef("df", "where", _rel._infer_filter, num_operands=1, elementwise=True))
+register_op(OpDef("df", "select", _rel._infer_project, num_operands=1, elementwise=True))
+register_op(OpDef("df", "hash_join", _rel._infer_join, num_operands=2))
+register_op(OpDef("df", "hash_aggregate", _rel._infer_aggregate, num_operands=1))
+register_op(OpDef("df", "sort", _rel._infer_sort, num_operands=1))
+register_op(OpDef("df", "limit", _rel._infer_limit, num_operands=1))
+register_op(OpDef("df", "distinct", _rel._infer_distinct, num_operands=1))

@@ -1,0 +1,66 @@
+"""The ``kernel`` dialect: the bottom of the IR.
+
+``kernel.fused`` packages a chain of elementwise steps produced by the
+fusion pass into one launch — the cross-domain op-fusing §2.2 argues a
+common IR enables.  ``kernel.call`` invokes a handcrafted (predefined)
+operator from the kernel registry, the escape hatch Figure 2 shows as
+"cudf ops / misc ops".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core import OpDef, register_op
+from ..types import IRType
+
+__all__ = ["FusedStep"]
+
+
+@dataclass(frozen=True)
+class FusedStep:
+    """One step inside a fused kernel.
+
+    ``operand_refs`` index into the fused op's operand list when >= 0; a
+    negative ref ``-(k+1)`` refers to the result of step ``k`` (so ``-1``
+    is step 0's result, ``-2`` step 1's, ...).
+    """
+
+    dialect: str
+    name: str
+    operand_refs: Tuple[int, ...]
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.dialect}.{self.name}"
+
+    def attrs_dict(self) -> Dict[str, Any]:
+        return dict(self.attrs)
+
+
+def _infer_fused(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    result_type = attrs.get("result_type")
+    if result_type is None:
+        raise KeyError("kernel.fused needs a precomputed 'result_type'")
+    steps = attrs.get("steps")
+    if not steps:
+        raise KeyError("kernel.fused needs a non-empty 'steps' tuple")
+    for step in steps:
+        if not isinstance(step, FusedStep):
+            raise TypeError(f"fused step must be FusedStep, got {type(step)}")
+    return [result_type]
+
+
+def _infer_call(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    result_type = attrs.get("result_type")
+    if result_type is None:
+        raise KeyError("kernel.call needs a 'result_type' attribute")
+    if "kernel" not in attrs:
+        raise KeyError("kernel.call needs a 'kernel' name attribute")
+    return [result_type]
+
+
+register_op(OpDef("kernel", "fused", _infer_fused))
+register_op(OpDef("kernel", "call", _infer_call))

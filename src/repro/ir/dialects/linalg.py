@@ -1,0 +1,116 @@
+"""The ``linalg`` dialect: tensor algebra for the ML side of pipelines.
+
+Elementwise ops are fusion candidates; ``matmul``/``reduce_sum`` are the
+compute-heavy ops whose backend choice (CPU/GPU/FPGA) experiment E8 sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import OpDef, register_op
+from ..types import FrameType, IRType, TensorType
+
+__all__ = []
+
+
+def _tensor(types: Sequence[IRType], index: int = 0) -> TensorType:
+    t = types[index]
+    if not isinstance(t, TensorType):
+        raise TypeError(f"expected tensor operand, got {t!r}")
+    return t
+
+
+def _broadcast(a: Tuple[Optional[int], ...], b: Tuple[Optional[int], ...]):
+    """Numpy-style shape broadcast with dynamic dims."""
+    out = []
+    for da, db in zip(reversed(a), reversed(b)):
+        if da == 1:
+            out.append(db)
+        elif db == 1 or da == db:
+            out.append(da)
+        elif da is None or db is None:
+            out.append(None)
+        else:
+            raise TypeError(f"cannot broadcast shapes {a} and {b}")
+    longer = a if len(a) > len(b) else b
+    out.extend(reversed(longer[: abs(len(a) - len(b))]))
+    return tuple(reversed(out))
+
+
+def _infer_binary(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    a, b = _tensor(types, 0), _tensor(types, 1)
+    if a.dtype != b.dtype:
+        raise TypeError(f"dtype mismatch: {a.dtype} vs {b.dtype}")
+    return [TensorType(_broadcast(a.shape, b.shape), a.dtype)]
+
+
+def _infer_unary(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    a = _tensor(types)
+    return [TensorType(a.shape, a.dtype)]
+
+
+def _infer_matmul(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    a, b = _tensor(types, 0), _tensor(types, 1)
+    if a.rank != 2 or b.rank != 2:
+        raise TypeError(f"matmul needs rank-2 tensors, got {a!r} @ {b!r}")
+    if a.shape[1] is not None and b.shape[0] is not None and a.shape[1] != b.shape[0]:
+        raise TypeError(f"matmul inner dims differ: {a!r} @ {b!r}")
+    return [TensorType((a.shape[0], b.shape[1]), a.dtype)]
+
+
+def _infer_transpose(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    a = _tensor(types)
+    if a.rank != 2:
+        raise TypeError("transpose needs a rank-2 tensor")
+    return [TensorType((a.shape[1], a.shape[0]), a.dtype)]
+
+
+def _infer_reduce(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    a = _tensor(types)
+    axis = attrs.get("axis")
+    if axis is None:
+        return [TensorType((), a.dtype)]
+    if not (0 <= axis < a.rank):
+        raise ValueError(f"reduce axis {axis} out of range for {a!r}")
+    shape = tuple(d for i, d in enumerate(a.shape) if i != axis)
+    return [TensorType(shape, a.dtype)]
+
+
+def _infer_constant(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    value = attrs.get("value")
+    if value is None:
+        raise KeyError("linalg.constant needs a 'value' attribute")
+    arr = np.asarray(value)
+    return [TensorType(arr.shape, arr.dtype.name)]
+
+
+def _infer_frame_to_tensor(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    frame = types[0]
+    if not isinstance(frame, FrameType):
+        raise TypeError("frame_to_tensor needs a frame operand")
+    columns = tuple(attrs.get("columns", ()))
+    if not columns:
+        raise KeyError("frame_to_tensor needs a 'columns' attribute")
+    for name in columns:
+        if not frame.has_column(name):
+            raise KeyError(f"frame_to_tensor: no column {name!r}")
+    return [TensorType((frame.num_rows, len(columns)), "float64")]
+
+
+register_op(OpDef("linalg", "constant", _infer_constant, num_operands=0))
+register_op(OpDef("linalg", "add", _infer_binary, num_operands=2, elementwise=True))
+register_op(OpDef("linalg", "sub", _infer_binary, num_operands=2, elementwise=True))
+register_op(OpDef("linalg", "mul", _infer_binary, num_operands=2, elementwise=True))
+register_op(OpDef("linalg", "div", _infer_binary, num_operands=2, elementwise=True))
+register_op(OpDef("linalg", "relu", _infer_unary, num_operands=1, elementwise=True))
+register_op(OpDef("linalg", "sigmoid", _infer_unary, num_operands=1, elementwise=True))
+register_op(OpDef("linalg", "exp", _infer_unary, num_operands=1, elementwise=True))
+register_op(OpDef("linalg", "neg", _infer_unary, num_operands=1, elementwise=True))
+register_op(OpDef("linalg", "matmul", _infer_matmul, num_operands=2))
+register_op(OpDef("linalg", "transpose", _infer_transpose, num_operands=1))
+register_op(OpDef("linalg", "reduce_sum", _infer_reduce, num_operands=1))
+register_op(OpDef("linalg", "reduce_mean", _infer_reduce, num_operands=1))
+register_op(OpDef("linalg", "frame_to_tensor", _infer_frame_to_tensor, num_operands=1))

@@ -1,0 +1,139 @@
+"""The ``relational`` dialect: logical query-plan operations on frames.
+
+This is the top of the multi-level IR — what the SQL frontend emits.  It is
+lowered to the physical ``df`` dialect by
+:func:`repro.ir.lowering.lower_relational_to_df`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from ..core import OpDef, register_op
+from ..expr import Expr
+from ..types import FrameType, IRType
+
+__all__ = ["AGG_FUNCS"]
+
+AGG_FUNCS = ("sum", "count", "mean", "min", "max")
+
+
+def _frame(types: Sequence[IRType], index: int = 0) -> FrameType:
+    t = types[index]
+    if not isinstance(t, FrameType):
+        raise TypeError(f"expected frame operand, got {t!r}")
+    return t
+
+
+def _infer_scan(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    schema = attrs.get("schema")
+    if not isinstance(schema, FrameType):
+        raise TypeError("relational.scan needs a 'schema' FrameType attribute")
+    if "table" not in attrs:
+        raise KeyError("relational.scan needs a 'table' attribute")
+    return [schema]
+
+
+def _infer_filter(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    frame = _frame(types)
+    pred = attrs.get("pred")
+    if not isinstance(pred, Expr):
+        raise TypeError("relational.filter needs a 'pred' Expr attribute")
+    for name in pred.referenced_columns():
+        if not frame.has_column(name):
+            raise KeyError(f"filter predicate references unknown column {name!r}")
+    return [FrameType(frame.columns, num_rows=None)]
+
+
+def _infer_project(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    frame = _frame(types)
+    columns = tuple(attrs.get("columns", ()))
+    derived = tuple(attrs.get("derived", ()))  # (name, Expr, dtype)
+    out = []
+    for name in columns:
+        out.append((name, frame.dtype_of(name)))
+    for name, expr, dtype in derived:
+        if not isinstance(expr, Expr):
+            raise TypeError(f"derived column {name!r} needs an Expr")
+        for ref in expr.referenced_columns():
+            if not frame.has_column(ref):
+                raise KeyError(f"derived column {name!r} references unknown {ref!r}")
+        out.append((name, np.dtype(dtype).name))
+    if not out:
+        raise ValueError("relational.project produces no columns")
+    return [FrameType(tuple(out), frame.num_rows)]
+
+
+def _infer_join(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    left, right = _frame(types, 0), _frame(types, 1)
+    left_on, right_on = attrs.get("left_on"), attrs.get("right_on")
+    if not left_on or not right_on:
+        raise KeyError("relational.join needs 'left_on' and 'right_on'")
+    if not left.has_column(left_on):
+        raise KeyError(f"join key {left_on!r} missing from left frame")
+    if not right.has_column(right_on):
+        raise KeyError(f"join key {right_on!r} missing from right frame")
+    columns = list(left.columns)
+    taken = {c for c, _ in columns}
+    for name, dt in right.columns:
+        if name == right_on:
+            continue
+        out_name = name if name not in taken else f"r_{name}"
+        columns.append((out_name, dt))
+        taken.add(out_name)
+    return [FrameType(tuple(columns), num_rows=None)]
+
+
+def _infer_aggregate(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    frame = _frame(types)
+    keys = tuple(attrs.get("keys", ()))
+    aggs = tuple(attrs.get("aggs", ()))  # (out_name, fn, col)
+    if not aggs:
+        raise ValueError("relational.aggregate needs at least one agg")
+    columns = [(k, frame.dtype_of(k)) for k in keys]
+    for out_name, fn, colname in aggs:
+        if fn not in AGG_FUNCS:
+            raise ValueError(f"unknown agg fn {fn!r}; have {AGG_FUNCS}")
+        if fn == "count":
+            columns.append((out_name, "int64"))
+        elif fn == "mean":
+            columns.append((out_name, "float64"))
+        else:
+            columns.append((out_name, frame.dtype_of(colname)))
+    return [FrameType(tuple(columns), num_rows=None)]
+
+
+def _infer_sort(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    frame = _frame(types)
+    by = tuple(attrs.get("by", ()))
+    if not by:
+        raise KeyError("relational.sort needs a 'by' attribute")
+    for name in by:
+        if not frame.has_column(name):
+            raise KeyError(f"sort key {name!r} missing")
+    return [FrameType(frame.columns, frame.num_rows)]
+
+
+def _infer_distinct(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    frame = _frame(types)
+    return [FrameType(frame.columns, num_rows=None)]
+
+
+def _infer_limit(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
+    frame = _frame(types)
+    n = attrs.get("n")
+    if not isinstance(n, int) or n < 0:
+        raise ValueError(f"relational.limit needs a non-negative int 'n', got {n!r}")
+    return [FrameType(frame.columns, num_rows=None)]
+
+
+register_op(OpDef("relational", "scan", _infer_scan, num_operands=0))
+register_op(OpDef("relational", "filter", _infer_filter, num_operands=1))
+register_op(OpDef("relational", "project", _infer_project, num_operands=1))
+register_op(OpDef("relational", "join", _infer_join, num_operands=2))
+register_op(OpDef("relational", "aggregate", _infer_aggregate, num_operands=1))
+register_op(OpDef("relational", "sort", _infer_sort, num_operands=1))
+register_op(OpDef("relational", "limit", _infer_limit, num_operands=1))
+register_op(OpDef("relational", "distinct", _infer_distinct, num_operands=1))

@@ -1,0 +1,211 @@
+"""Scalar expression trees, shared by the IR, the SQL planner, and the
+dataframe frontend.
+
+Expressions are evaluated column-at-a-time over numpy arrays, which is the
+vectorized execution model the shared columnar format enables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping
+
+import numpy as np
+
+__all__ = ["Expr", "Col", "Lit", "BinOp", "UnaryOp", "FuncCall", "col", "lit"]
+
+_BINOPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "and": lambda a, b: np.logical_and(a, b),
+    "or": lambda a, b: np.logical_or(a, b),
+}
+
+_UNARY: Dict[str, Callable[[Any], Any]] = {
+    "-": lambda a: -a,
+    "not": lambda a: np.logical_not(a),
+    "abs": np.abs,
+}
+
+_FUNCS: Dict[str, Callable[..., Any]] = {
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "floor": np.floor,
+    "ceil": np.ceil,
+}
+
+
+class Expr:
+    """Base scalar expression."""
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> Any:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> List[str]:
+        out: List[str] = []
+        self._collect_cols(out)
+        return out
+
+    def _collect_cols(self, out: List[str]) -> None:
+        pass
+
+    # operator sugar ---------------------------------------------------------
+    def _bin(self, op: str, other: Any) -> "BinOp":
+        return BinOp(op, self, _wrap(other))
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __mul__(self, other):
+        return self._bin("*", other)
+
+    def __truediv__(self, other):
+        return self._bin("/", other)
+
+    def __mod__(self, other):
+        return self._bin("%", other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._bin("==", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._bin("!=", other)
+
+    def __lt__(self, other):
+        return self._bin("<", other)
+
+    def __le__(self, other):
+        return self._bin("<=", other)
+
+    def __gt__(self, other):
+        return self._bin(">", other)
+
+    def __ge__(self, other):
+        return self._bin(">=", other)
+
+    def __and__(self, other):
+        return self._bin("and", other)
+
+    def __or__(self, other):
+        return self._bin("or", other)
+
+    def __invert__(self):
+        return UnaryOp("not", self)
+
+    def __neg__(self):
+        return UnaryOp("-", self)
+
+    def __hash__(self):
+        return hash(repr(self))
+
+
+def _wrap(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+@dataclass(frozen=True, eq=False)
+class Col(Expr):
+    name: str
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> Any:
+        if self.name not in columns:
+            raise KeyError(f"column {self.name!r} not bound; have {sorted(columns)}")
+        return columns[self.name]
+
+    def _collect_cols(self, out: List[str]) -> None:
+        out.append(self.name)
+
+    def __repr__(self) -> str:
+        return f"col({self.name})"
+
+
+@dataclass(frozen=True, eq=False)
+class Lit(Expr):
+    value: Any
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> Any:
+        return _BINOPS[self.op](self.left.evaluate(columns), self.right.evaluate(columns))
+
+    def _collect_cols(self, out: List[str]) -> None:
+        self.left._collect_cols(out)
+        self.right._collect_cols(out)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _UNARY:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> Any:
+        return _UNARY[self.op](self.operand.evaluate(columns))
+
+    def _collect_cols(self, out: List[str]) -> None:
+        self.operand._collect_cols(out)
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class FuncCall(Expr):
+    func: str
+    args: tuple
+
+    def __post_init__(self) -> None:
+        if self.func not in _FUNCS:
+            raise ValueError(f"unknown function {self.func!r}; have {sorted(_FUNCS)}")
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> Any:
+        return _FUNCS[self.func](*(a.evaluate(columns) for a in self.args))
+
+    def _collect_cols(self, out: List[str]) -> None:
+        for a in self.args:
+            a._collect_cols(out)
+
+    def __repr__(self) -> str:
+        return f"{self.func}({', '.join(map(repr, self.args))})"
+
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(value: Any) -> Lit:
+    return Lit(value)

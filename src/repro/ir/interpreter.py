@@ -1,0 +1,96 @@
+"""Reference interpreter: execute an IR function over numpy values.
+
+Used three ways: as the execution body of FlowGraph vertices, as the
+equivalence oracle for lowering/optimization passes (optimized and
+unoptimized functions must produce identical results), and directly by the
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .core import Function, Operation
+from .dialects.kernel import FusedStep
+from .kernels import HANDCRAFTED, KERNELS
+
+__all__ = ["Interpreter", "run_function", "execute_op"]
+
+
+def execute_op(
+    op: Operation,
+    operand_values: Sequence[Any],
+    tables: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Execute one op given already-evaluated operand values."""
+    key = (op.dialect, op.name)
+    if key == ("kernel", "fused"):
+        return _execute_fused(op.attrs["steps"], operand_values, tables)
+    if key == ("kernel", "call"):
+        fn = HANDCRAFTED.get(op.attrs["kernel"])
+        if fn is None:
+            raise KeyError(f"unknown handcrafted kernel {op.attrs['kernel']!r}")
+        return fn(*operand_values, **op.attrs.get("kwargs", {}))
+    impl = KERNELS.get(key)
+    if impl is None:
+        raise KeyError(f"no kernel for {op.qualified}")
+    if key in (("relational", "scan"), ("df", "source")):
+        return impl(op.attrs, tables=tables or {})
+    return impl(op.attrs, *operand_values)
+
+
+def _execute_fused(
+    steps: Sequence[FusedStep],
+    operand_values: Sequence[Any],
+    tables: Optional[Mapping[str, Any]],
+) -> Any:
+    intermediates: List[Any] = []
+    for step in steps:
+        args = []
+        for ref in step.operand_refs:
+            if ref >= 0:
+                args.append(operand_values[ref])
+            else:
+                args.append(intermediates[-ref - 1])
+        key = (step.dialect, step.name)
+        impl = KERNELS.get(key)
+        if impl is None:
+            raise KeyError(f"no kernel for fused step {step.qualified}")
+        intermediates.append(impl(step.attrs_dict(), *args))
+    return intermediates[-1]
+
+
+class Interpreter:
+    """Executes functions; ``tables`` backs relational.scan/df.source."""
+
+    def __init__(self, tables: Optional[Mapping[str, Any]] = None):
+        self.tables = dict(tables or {})
+
+    def run(self, func: Function, inputs: Optional[Mapping[str, Any]] = None) -> List[Any]:
+        inputs = dict(inputs or {})
+        env: Dict[int, Any] = {}
+        for param in func.params:
+            if param.name not in inputs:
+                raise KeyError(
+                    f"missing input {param.name!r} for {func.name}; "
+                    f"have {sorted(inputs)}"
+                )
+            env[id(param)] = inputs[param.name]
+        for op in func.ops:
+            operand_values = [env[id(v)] for v in op.operands]
+            value = execute_op(op, operand_values, tables=self.tables)
+            if len(op.results) != 1:
+                raise NotImplementedError("multi-result ops not supported")
+            env[id(op.results[0])] = value
+        missing = [v for v in func.returns if id(v) not in env]
+        if missing:
+            raise KeyError(f"function returns unevaluated values: {missing}")
+        return [env[id(v)] for v in func.returns]
+
+
+def run_function(
+    func: Function,
+    inputs: Optional[Mapping[str, Any]] = None,
+    tables: Optional[Mapping[str, Any]] = None,
+) -> List[Any]:
+    return Interpreter(tables).run(func, inputs)

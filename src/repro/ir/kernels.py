@@ -1,0 +1,265 @@
+"""Reference numpy kernels for every IR op, plus the handcrafted-op registry.
+
+These are the "predefined operators" of §1 (cudf ops, arrow ops, ...) and
+the execution bodies the interpreter dispatches to.  All frame kernels are
+vectorized column-at-a-time — the execution style the shared columnar
+format exists to support.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..caching.columnar import RecordBatch
+from .expr import Expr
+
+__all__ = ["KERNELS", "HANDCRAFTED", "register_handcrafted", "hash_partition"]
+
+
+def _columns(batch: RecordBatch) -> Dict[str, np.ndarray]:
+    return batch.columns()
+
+
+# -- frame kernels -------------------------------------------------------------
+
+
+def k_scan(attrs: Dict[str, Any], *, tables: Mapping[str, RecordBatch]) -> RecordBatch:
+    table = attrs["table"]
+    if table not in tables:
+        raise KeyError(f"scan of unknown table {table!r}; have {sorted(tables)}")
+    return tables[table]
+
+
+def k_filter(attrs: Dict[str, Any], batch: RecordBatch) -> RecordBatch:
+    pred: Expr = attrs["pred"]
+    mask = np.asarray(pred.evaluate(_columns(batch)), dtype=bool)
+    return batch.filter(mask)
+
+
+def k_project(attrs: Dict[str, Any], batch: RecordBatch) -> RecordBatch:
+    names = list(attrs.get("columns", ()))
+    derived = list(attrs.get("derived", ()))
+    cols: Dict[str, np.ndarray] = {}
+    for name in names:
+        cols[name] = batch.column(name)
+    env = _columns(batch)
+    for name, expr, dtype in derived:
+        value = np.asarray(expr.evaluate(env))
+        if value.ndim == 0:  # broadcast scalar expressions
+            value = np.full(batch.num_rows, value[()])
+        cols[name] = value.astype(np.dtype(dtype), copy=False)
+    return RecordBatch.from_arrays(cols)
+
+
+def k_join(attrs: Dict[str, Any], left: RecordBatch, right: RecordBatch) -> RecordBatch:
+    left_on, right_on = attrs["left_on"], attrs["right_on"]
+    build = right.column(right_on)
+    index: Dict[Any, List[int]] = {}
+    for i, key in enumerate(build.tolist()):
+        index.setdefault(key, []).append(i)
+    probe = left.column(left_on).tolist()
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    for i, key in enumerate(probe):
+        for j in index.get(key, ()):
+            left_idx.append(i)
+            right_idx.append(j)
+    li = np.asarray(left_idx, dtype=np.int64)
+    ri = np.asarray(right_idx, dtype=np.int64)
+    cols: Dict[str, np.ndarray] = {}
+    for name in left.schema.names:
+        cols[name] = left.column(name)[li]
+    for name in right.schema.names:
+        if name == right_on:
+            continue
+        out_name = name if name not in cols else f"r_{name}"
+        cols[out_name] = right.column(name)[ri]
+    return RecordBatch.from_arrays(cols)
+
+
+_AGG_IMPL: Dict[str, Callable[[np.ndarray], Any]] = {
+    "sum": np.sum,
+    "count": len,
+    "mean": np.mean,
+    "min": np.min,
+    "max": np.max,
+}
+
+
+def k_aggregate(attrs: Dict[str, Any], batch: RecordBatch) -> RecordBatch:
+    keys = list(attrs.get("keys", ()))
+    aggs = list(attrs["aggs"])
+    if not keys:
+        cols: Dict[str, np.ndarray] = {}
+        for out_name, fn, colname in aggs:
+            source = batch.column(colname if fn != "count" else batch.schema.names[0])
+            value = _AGG_IMPL[fn](source) if batch.num_rows else _empty_agg(fn)
+            dtype = np.int64 if fn == "count" else None
+            cols[out_name] = np.asarray([value], dtype=dtype)
+        return RecordBatch.from_arrays(cols)
+
+    key_arrays = [batch.column(k) for k in keys]
+    # lexicographic group identification
+    order = np.lexsort(key_arrays[::-1])
+    sorted_keys = [arr[order] for arr in key_arrays]
+    if batch.num_rows == 0:
+        boundaries = np.asarray([], dtype=np.int64)
+    else:
+        changed = np.zeros(batch.num_rows, dtype=bool)
+        changed[0] = True
+        for arr in sorted_keys:
+            changed[1:] |= arr[1:] != arr[:-1]
+        boundaries = np.flatnonzero(changed)
+    cols = {}
+    for key_name, arr in zip(keys, sorted_keys):
+        cols[key_name] = arr[boundaries]
+    group_slices = list(zip(boundaries, list(boundaries[1:]) + [batch.num_rows]))
+    for out_name, fn, colname in aggs:
+        if fn == "count":
+            cols[out_name] = np.asarray(
+                [b - a for a, b in group_slices], dtype=np.int64
+            )
+            continue
+        source = batch.column(colname)[order]
+        cols[out_name] = np.asarray(
+            [_AGG_IMPL[fn](source[a:b]) for a, b in group_slices]
+        )
+    return RecordBatch.from_arrays(cols)
+
+
+def _empty_agg(fn: str) -> Any:
+    if fn == "count":
+        return 0
+    if fn == "sum":
+        return 0.0
+    raise ValueError(f"aggregate {fn!r} of an empty frame is undefined")
+
+
+def k_sort(attrs: Dict[str, Any], batch: RecordBatch) -> RecordBatch:
+    by = list(attrs["by"])
+    ascending = attrs.get("ascending", True)
+    keys = [batch.column(name) for name in by]
+    order = np.lexsort(keys[::-1])
+    if not ascending:
+        order = order[::-1]
+    return batch.take(order)
+
+
+def k_limit(attrs: Dict[str, Any], batch: RecordBatch) -> RecordBatch:
+    return batch.slice(0, attrs["n"])
+
+
+def k_distinct(attrs: Dict[str, Any], batch: RecordBatch) -> RecordBatch:
+    """Row-level dedup, keeping first occurrences in row order."""
+    if batch.num_rows == 0:
+        return batch
+    columns = [batch.column(name) for name in batch.schema.names]
+    order = np.lexsort(columns[::-1])  # stable: ties keep original order
+    changed = np.zeros(batch.num_rows, dtype=bool)
+    changed[0] = True
+    for col_arr in columns:
+        sorted_col = col_arr[order]
+        changed[1:] |= sorted_col[1:] != sorted_col[:-1]
+    first_indices = np.sort(order[changed])
+    return batch.take(first_indices)
+
+
+# -- tensor kernels -----------------------------------------------------------------
+
+
+def k_constant(attrs: Dict[str, Any]) -> np.ndarray:
+    return np.asarray(attrs["value"])
+
+
+def k_frame_to_tensor(attrs: Dict[str, Any], batch: RecordBatch) -> np.ndarray:
+    columns = list(attrs["columns"])
+    return np.column_stack(
+        [batch.column(c).astype(np.float64) for c in columns]
+    )
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+KERNELS: Dict[Tuple[str, str], Callable[..., Any]] = {
+    ("relational", "scan"): k_scan,
+    ("relational", "filter"): k_filter,
+    ("relational", "project"): k_project,
+    ("relational", "join"): k_join,
+    ("relational", "aggregate"): k_aggregate,
+    ("relational", "sort"): k_sort,
+    ("relational", "limit"): k_limit,
+    ("relational", "distinct"): k_distinct,
+    ("df", "source"): k_scan,
+    ("df", "where"): k_filter,
+    ("df", "select"): k_project,
+    ("df", "hash_join"): k_join,
+    ("df", "hash_aggregate"): k_aggregate,
+    ("df", "sort"): k_sort,
+    ("df", "limit"): k_limit,
+    ("df", "distinct"): k_distinct,
+    ("linalg", "constant"): lambda attrs: k_constant(attrs),
+    ("linalg", "add"): lambda attrs, a, b: a + b,
+    ("linalg", "sub"): lambda attrs, a, b: a - b,
+    ("linalg", "mul"): lambda attrs, a, b: a * b,
+    ("linalg", "div"): lambda attrs, a, b: a / b,
+    ("linalg", "relu"): lambda attrs, a: np.maximum(a, 0.0),
+    ("linalg", "sigmoid"): lambda attrs, a: _sigmoid(a),
+    ("linalg", "exp"): lambda attrs, a: np.exp(a),
+    ("linalg", "neg"): lambda attrs, a: -a,
+    ("linalg", "matmul"): lambda attrs, a, b: a @ b,
+    ("linalg", "transpose"): lambda attrs, a: a.T,
+    ("linalg", "reduce_sum"): lambda attrs, a: np.sum(a, axis=attrs.get("axis")),
+    ("linalg", "reduce_mean"): lambda attrs, a: np.mean(a, axis=attrs.get("axis")),
+    ("linalg", "frame_to_tensor"): k_frame_to_tensor,
+}
+
+
+# -- handcrafted operator registry (the "cudf ops / misc ops" of Figure 2) -----
+
+HANDCRAFTED: Dict[str, Callable[..., Any]] = {}
+
+
+def register_handcrafted(name: str):
+    """Decorator: register a predefined operator usable via kernel.call."""
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if name in HANDCRAFTED:
+            raise ValueError(f"handcrafted kernel {name!r} already registered")
+        HANDCRAFTED[name] = fn
+        return fn
+
+    return wrap
+
+
+@register_handcrafted("misc.top_k")
+def hk_top_k(batch: RecordBatch, column: str, k: int) -> RecordBatch:
+    values = batch.column(column)
+    order = np.argsort(values)[::-1][:k]
+    return batch.take(order)
+
+
+@register_handcrafted("misc.distinct")
+def hk_distinct(batch: RecordBatch, column: str) -> np.ndarray:
+    return np.unique(batch.column(column))
+
+
+@register_handcrafted("cudf.normalize")
+def hk_normalize(tensor: np.ndarray) -> np.ndarray:
+    std = tensor.std(axis=0)
+    std[std == 0] = 1.0
+    return (tensor - tensor.mean(axis=0)) / std
+
+
+def hash_partition(batch: RecordBatch, column: str, num_partitions: int) -> List[RecordBatch]:
+    """Split a batch by hash of a key column (keyed-edge semantics)."""
+    if num_partitions < 1:
+        raise ValueError(f"need >= 1 partitions, got {num_partitions}")
+    keys = batch.column(column)
+    # deterministic integer hash (avoid PYTHONHASHSEED nondeterminism)
+    buckets = (keys.astype(np.int64) * np.int64(2654435761)) % num_partitions
+    buckets = np.abs(buckets)
+    return [batch.filter(buckets == p) for p in range(num_partitions)]

@@ -1,0 +1,63 @@
+"""Dialect lowering: relational -> df, plus backend assignment.
+
+The access layer "collectively lowers" domain declarations "onto one
+logical graph" (§1); within the IR that means rewriting the logical
+``relational`` ops into physical ``df`` ops (algorithm choices become
+explicit: joins become hash joins) and then annotating each op with a
+hardware backend (see :mod:`repro.ir.backends`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .backends import ALL_BACKENDS, Backend, SelectionPolicy, select_backends
+from .core import Builder, Function, Value
+
+__all__ = ["lower_relational_to_df", "lower_to_physical", "RELATIONAL_TO_DF"]
+
+RELATIONAL_TO_DF: Dict[str, str] = {
+    "scan": "source",
+    "filter": "where",
+    "project": "select",
+    "join": "hash_join",
+    "aggregate": "hash_aggregate",
+    "sort": "sort",
+    "limit": "limit",
+    "distinct": "distinct",
+}
+
+
+def lower_relational_to_df(func: Function, name: Optional[str] = None) -> Function:
+    """Rewrite every relational op into its physical df counterpart."""
+    builder = Builder(name or f"{func.name}_df")
+    mapping: Dict[int, Value] = {}
+    for param in func.params:
+        mapping[id(param)] = builder.add_param(param.name, param.type)
+    for op in func.ops:
+        operands = [mapping[id(v)] for v in op.operands]
+        if op.dialect == "relational":
+            target = RELATIONAL_TO_DF.get(op.name)
+            if target is None:
+                raise KeyError(f"no df lowering for relational.{op.name}")
+            new_op = builder.emit("df", target, operands, dict(op.attrs))
+        else:
+            new_op = builder.emit(op.dialect, op.name, operands, dict(op.attrs))
+        for old, new in zip(op.results, new_op.results):
+            mapping[id(old)] = new
+    lowered = builder.ret(*[mapping[id(v)] for v in func.returns])
+    lowered.verify()
+    return lowered
+
+
+def lower_to_physical(
+    func: Function,
+    backends: Sequence[Backend] = ALL_BACKENDS,
+    policy: SelectionPolicy = SelectionPolicy.CHEAPEST,
+    default_rows: int = 100_000,
+) -> Function:
+    """Full lowering: relational->df (if needed) + backend annotation."""
+    if any(op.dialect == "relational" for op in func.ops):
+        func = lower_relational_to_df(func)
+    select_backends(func, backends, policy, default_rows)
+    return func

@@ -1,0 +1,272 @@
+"""Graph-level optimization passes over IR functions.
+
+§2.2: "A common IR enables graph-level optimizations such as op-fusing
+across application domains, in contrast to being confined within one
+domain."  ``FuseElementwise`` is exactly that: it fuses elementwise chains
+regardless of which dialect (df, linalg) each op came from, so a SQL-derived
+``df.where`` can fuse with an ML-derived ``linalg.relu`` in one kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .core import Function, Module, Operation, Value
+from .dialects.kernel import FusedStep
+from .types import IRType
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "DeadCodeElimination",
+    "CommonSubexpressionElimination",
+    "ConstantFold",
+    "FuseElementwise",
+    "PassStats",
+]
+
+
+@dataclass
+class PassStats:
+    ops_removed: int = 0
+    ops_fused: int = 0
+    iterations: int = 0
+
+
+class Pass:
+    name = "pass"
+
+    def run(self, func: Function, stats: PassStats) -> bool:
+        """Apply once; return True when the function changed."""
+        raise NotImplementedError
+
+
+def _replace_uses(func: Function, old: Value, new: Value, after_index: int) -> None:
+    for op in func.ops[after_index:]:
+        op.operands = [new if v is old else v for v in op.operands]
+    func.returns = [new if v is old else v for v in func.returns]
+
+
+class DeadCodeElimination(Pass):
+    """Drop ops whose results are never used (all ops here are pure)."""
+
+    name = "dce"
+
+    def run(self, func: Function, stats: PassStats) -> bool:
+        live = {id(v) for v in func.returns}
+        kept: List[Operation] = []
+        changed = False
+        for op in reversed(func.ops):
+            if any(id(r) in live for r in op.results):
+                kept.append(op)
+                for operand in op.operands:
+                    live.add(id(operand))
+            else:
+                changed = True
+                stats.ops_removed += 1
+        kept.reverse()
+        func.ops = kept
+        return changed
+
+
+def _attr_key(attrs: Dict[str, Any]) -> str:
+    return repr(sorted(attrs.items(), key=lambda kv: kv[0]))
+
+
+class CommonSubexpressionElimination(Pass):
+    """Reuse the result of structurally identical pure ops."""
+
+    name = "cse"
+
+    def run(self, func: Function, stats: PassStats) -> bool:
+        seen: Dict[Tuple[str, Tuple[int, ...], str], Value] = {}
+        changed = False
+        kept: List[Operation] = []
+        for index, op in enumerate(func.ops):
+            key = (
+                op.qualified,
+                tuple(id(v) for v in op.operands),
+                _attr_key(op.attrs),
+            )
+            prior = seen.get(key)
+            if prior is not None and len(op.results) == 1:
+                _replace_uses(func, op.results[0], prior, index)
+                stats.ops_removed += 1
+                changed = True
+                continue
+            if len(op.results) == 1:
+                seen[key] = op.results[0]
+            kept.append(op)
+        func.ops = kept
+        return changed
+
+
+class ConstantFold(Pass):
+    """Evaluate linalg ops whose operands are all constants at compile time."""
+
+    name = "constant-fold"
+
+    _FOLDABLE_DIALECTS = ("linalg",)
+
+    def run(self, func: Function, stats: PassStats) -> bool:
+        from .interpreter import execute_op  # local import: avoid cycle
+        from .types import TensorType
+
+        changed = False
+        for index, op in enumerate(list(func.ops)):
+            if op.dialect not in self._FOLDABLE_DIALECTS:
+                continue
+            if op.name == "constant" or len(op.results) != 1:
+                continue
+            producers = [v.producer for v in op.operands]
+            if not producers or any(
+                p is None or p.qualified != "linalg.constant" for p in producers
+            ):
+                continue
+            operand_values = [p.attrs["value"] for p in producers]
+            try:
+                value = execute_op(op, operand_values)
+            except Exception:
+                continue  # leave anything surprising alone
+            import numpy as np
+
+            value = np.asarray(value)
+            folded = Operation(
+                "linalg",
+                "constant",
+                [],
+                {"value": value},
+            )
+            result = op.results[0]
+            # refresh the result type: folding pins dynamic dims
+            result.type = TensorType(value.shape, value.dtype.name)
+            result.producer = folded
+            folded.results = [result]
+            func.ops[func.ops.index(op)] = folded
+            stats.ops_removed += 1
+            changed = True
+        return changed
+
+
+def _as_fused(op: Operation) -> Tuple[List[Value], List[FusedStep], IRType]:
+    """Canonical fused view of an op: (operands, steps, result_type)."""
+    if op.qualified == "kernel.fused":
+        return list(op.operands), list(op.attrs["steps"]), op.attrs["result_type"]
+    step = FusedStep(
+        op.dialect,
+        op.name,
+        tuple(range(len(op.operands))),
+        tuple(sorted(op.attrs.items(), key=lambda kv: kv[0])),
+    )
+    return list(op.operands), [step], op.results[0].type
+
+
+def _fusable(op: Operation) -> bool:
+    if op.qualified == "kernel.fused":
+        return True
+    try:
+        return op.defn.elementwise
+    except KeyError:
+        return False
+
+
+class FuseElementwise(Pass):
+    """Fuse producer->consumer chains of elementwise ops across dialects."""
+
+    name = "fuse-elementwise"
+
+    def run(self, func: Function, stats: PassStats) -> bool:
+        uses = func.uses()
+        for ci, consumer in enumerate(func.ops):
+            if not _fusable(consumer):
+                continue
+            for value in list(consumer.operands):
+                producer = value.producer
+                if producer is None or not _fusable(producer):
+                    continue
+                # the producer's result must feed only this consumer
+                consumers = uses.get(id(value), [])
+                if len(consumers) != 1 or value in func.returns:
+                    continue
+                self._merge(func, producer, consumer, value)
+                stats.ops_fused += 1
+                return True  # restart scan: op list changed
+        return False
+
+    def _merge(
+        self, func: Function, producer: Operation, consumer: Operation, via: Value
+    ) -> None:
+        p_operands, p_steps, _ = _as_fused(producer)
+        c_operands, c_steps, result_type = _as_fused(consumer)
+        j = c_operands.index(via)
+
+        new_operands = list(p_operands)
+        c_map: Dict[int, int] = {}
+        for i, operand in enumerate(c_operands):
+            if i == j:
+                continue
+            try:
+                c_map[i] = new_operands.index(operand)  # dedupe shared inputs
+            except ValueError:
+                c_map[i] = len(new_operands)
+                new_operands.append(operand)
+
+        produced_step_ref = -len(p_steps)  # ref to last producer step
+        new_steps = list(p_steps)
+        for step in c_steps:
+            refs = []
+            for ref in step.operand_refs:
+                if ref >= 0:
+                    refs.append(produced_step_ref if ref == j else c_map[ref])
+                else:
+                    step_index = -ref - 1
+                    refs.append(-(step_index + len(p_steps) + 1))
+            new_steps.append(FusedStep(step.dialect, step.name, tuple(refs), step.attrs))
+
+        fused = Operation(
+            "kernel",
+            "fused",
+            new_operands,
+            {"steps": tuple(new_steps), "result_type": result_type},
+        )
+        result = consumer.results[0]
+        result.producer = fused
+        fused.results = [result]
+
+        ops: List[Operation] = []
+        for op in func.ops:
+            if op is producer:
+                continue
+            ops.append(fused if op is consumer else op)
+        func.ops = ops
+
+
+class PassManager:
+    """Run passes to fixpoint (bounded); collects statistics."""
+
+    def __init__(self, passes: Optional[List[Pass]] = None, max_iterations: int = 50):
+        self.passes = passes or [
+            ConstantFold(),
+            CommonSubexpressionElimination(),
+            FuseElementwise(),
+            DeadCodeElimination(),
+        ]
+        self.max_iterations = max_iterations
+
+    def run(self, target) -> PassStats:
+        stats = PassStats()
+        functions = (
+            list(target.functions.values()) if isinstance(target, Module) else [target]
+        )
+        for func in functions:
+            for iteration in range(self.max_iterations):
+                changed = False
+                for p in self.passes:
+                    while p.run(func, stats):
+                        changed = True
+                stats.iterations = iteration + 1
+                if not changed:
+                    break
+            func.verify()
+        return stats

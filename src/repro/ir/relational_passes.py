@@ -1,0 +1,156 @@
+"""Relational-level rewrite rules: conjunction splitting, filter pushdown.
+
+§2.1 step (2): Skadi "optimizes the graph using predefined rules".  These
+are the classic relational rules that matter most in a disaggregated
+setting, because pushing filters below joins shrinks exactly the data the
+shuffle must move across the fabric:
+
+* :class:`SplitConjunctiveFilter` — ``filter(x, a AND b)`` becomes
+  ``filter(filter(x, a), b)`` so each conjunct can move independently;
+* :class:`PushFilterThroughJoin` — a filter over a join whose predicate
+  touches only one side's columns slides below the join (undoing the
+  ``r_`` rename for right-side pushes).
+
+Both operate on the ``relational`` and ``df`` dialects alike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .core import Function, Operation, Value
+from .expr import BinOp, Col, Expr, FuncCall, Lit, UnaryOp
+from .passes import Pass, PassStats, _replace_uses
+from .types import FrameType
+
+__all__ = [
+    "SplitConjunctiveFilter",
+    "PushFilterThroughJoin",
+    "relational_optimizer",
+]
+
+_FILTER_NAMES = {("relational", "filter"), ("df", "where")}
+_JOIN_NAMES = {("relational", "join"), ("df", "hash_join")}
+
+
+def rename_cols(expr: Expr, mapping: Dict[str, str]) -> Expr:
+    """Structurally rewrite column references through ``mapping``."""
+    if isinstance(expr, Col):
+        return Col(mapping.get(expr.name, expr.name))
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rename_cols(expr.left, mapping), rename_cols(expr.right, mapping))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, rename_cols(expr.operand, mapping))
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.func, tuple(rename_cols(a, mapping) for a in expr.args))
+    raise TypeError(f"unknown expr node {type(expr)}")
+
+
+class SplitConjunctiveFilter(Pass):
+    """filter(x, a AND b)  ->  filter(filter(x, a), b)."""
+
+    name = "split-conjunctions"
+
+    def run(self, func: Function, stats: PassStats) -> bool:
+        for index, op in enumerate(func.ops):
+            if (op.dialect, op.name) not in _FILTER_NAMES:
+                continue
+            pred = op.attrs.get("pred")
+            if not (isinstance(pred, BinOp) and pred.op == "and"):
+                continue
+            inner = Operation(
+                op.dialect, op.name, list(op.operands), {"pred": pred.left}
+            )
+            inner_type = op.operands[0].type
+            assert isinstance(inner_type, FrameType)
+            inner.results = [
+                Value("v_split", FrameType(inner_type.columns, None), producer=inner)
+            ]
+            op.operands = [inner.results[0]]
+            op.attrs = {"pred": pred.right}
+            func.ops.insert(index, inner)
+            return True
+        return False
+
+
+class PushFilterThroughJoin(Pass):
+    """Slide one-sided filter predicates below the join they sit on."""
+
+    name = "pushdown-filter-join"
+
+    def run(self, func: Function, stats: PassStats) -> bool:
+        uses = func.uses()
+        for index, op in enumerate(func.ops):
+            if (op.dialect, op.name) not in _FILTER_NAMES:
+                continue
+            join = op.operands[0].producer
+            if join is None or (join.dialect, join.name) not in _JOIN_NAMES:
+                continue
+            # the join result must feed only this filter
+            if len(uses.get(id(op.operands[0]), [])) != 1:
+                continue
+            if op.operands[0] in func.returns:
+                continue
+            pred = op.attrs["pred"]
+            side = self._sided(pred, join)
+            if side is None:
+                continue
+            operand_index, pushed_pred = side
+            self._push(func, op, join, operand_index, pushed_pred, index)
+            stats.ops_removed += 0  # structural move, not a removal
+            return True
+        return False
+
+    def _sided(self, pred: Expr, join: Operation) -> Optional[Tuple[int, Expr]]:
+        """Which join input does ``pred`` exclusively reference, if any?"""
+        left_type = join.operands[0].type
+        right_type = join.operands[1].type
+        assert isinstance(left_type, FrameType) and isinstance(right_type, FrameType)
+        refs = set(pred.referenced_columns())
+        if refs and refs <= set(left_type.names):
+            return 0, pred
+        # right-side columns may have been renamed with the r_ prefix
+        right_on = join.attrs["right_on"]
+        out_to_right: Dict[str, str] = {}
+        taken = set(left_type.names)
+        for name, _dt in right_type.columns:
+            if name == right_on:
+                continue
+            out_name = name if name not in taken else f"r_{name}"
+            out_to_right[out_name] = name
+            taken.add(out_name)
+        if refs and refs <= set(out_to_right):
+            return 1, rename_cols(pred, out_to_right)
+        return None
+
+    def _push(
+        self,
+        func: Function,
+        filt: Operation,
+        join: Operation,
+        operand_index: int,
+        pred: Expr,
+        filter_pos: int,
+    ) -> None:
+        source = join.operands[operand_index]
+        source_type = source.type
+        assert isinstance(source_type, FrameType)
+        pushed = Operation(
+            filt.dialect, filt.name, [source], {"pred": pred}
+        )
+        pushed.results = [
+            Value("v_push", FrameType(source_type.columns, None), producer=pushed)
+        ]
+        join.operands[operand_index] = pushed.results[0]
+        # the filter disappears; its consumers read the join directly
+        _replace_uses(func, filt.results[0], join.results[0], filter_pos)
+        join_pos = func.ops.index(join)
+        func.ops.insert(join_pos, pushed)
+        func.ops.remove(filt)
+
+
+def relational_optimizer() -> List[Pass]:
+    """The rule set Skadi applies before lowering relational plans."""
+    return [SplitConjunctiveFilter(), PushFilterThroughJoin()]

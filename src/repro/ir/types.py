@@ -1,0 +1,97 @@
+"""The IR's type system: scalars, tensors, and data frames.
+
+Multi-level in the MLIR sense: the ``relational`` dialect works on frame
+types, ``linalg`` on tensor types, and lowering refines shapes where known.
+Unknown dimensions are ``None`` (dynamic), as in MLIR's ``?``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["IRType", "ScalarType", "TensorType", "FrameType", "f64", "i64", "boolean"]
+
+
+class IRType:
+    """Base type; types are immutable values."""
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class ScalarType(IRType):
+    def __init__(self, dtype: str):
+        self.dtype = np.dtype(dtype).name
+
+    def __repr__(self) -> str:
+        return self.dtype
+
+
+f64 = ScalarType("float64")
+i64 = ScalarType("int64")
+boolean = ScalarType("bool")
+
+
+class TensorType(IRType):
+    """shape entries of ``None`` are dynamic (MLIR's ``?``)."""
+
+    def __init__(self, shape: Tuple[Optional[int], ...], dtype: str = "float64"):
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype).name
+        for dim in self.shape:
+            if dim is not None and dim < 0:
+                raise ValueError(f"negative tensor dim in {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def num_elements(self) -> Optional[int]:
+        n = 1
+        for dim in self.shape:
+            if dim is None:
+                return None
+            n *= dim
+        return n
+
+    def __repr__(self) -> str:
+        dims = "x".join("?" if d is None else str(d) for d in self.shape)
+        return f"tensor<{dims}x{self.dtype}>"
+
+
+class FrameType(IRType):
+    """A record-batch type: ordered (name, dtype) columns, dynamic rows."""
+
+    def __init__(self, columns: Tuple[Tuple[str, str], ...], num_rows: Optional[int] = None):
+        self.columns = tuple((name, np.dtype(dt).name) for name, dt in columns)
+        self.num_rows = num_rows
+        names = [c[0] for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate columns in frame type: {names}")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(c[0] for c in self.columns)
+
+    def dtype_of(self, name: str) -> str:
+        for col, dt in self.columns:
+            if col == name:
+                return dt
+        raise KeyError(f"no column {name!r} in {self!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c == name for c, _ in self.columns)
+
+    def select(self, names) -> "FrameType":
+        return FrameType(tuple((n, self.dtype_of(n)) for n in names), self.num_rows)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{n}:{d}" for n, d in self.columns)
+        rows = "?" if self.num_rows is None else str(self.num_rows)
+        return f"frame<{rows}; {cols}>"

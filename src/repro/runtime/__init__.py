@@ -1,0 +1,62 @@
+"""The stateful serverless runtime (the paper's §2.3, built from scratch).
+
+A mini-Ray over the simulated disaggregated cluster: distributed task and
+actor APIs, futures with a heterogeneity-aware ownership table, per-device
+plasma stores with spill to disaggregated memory, pull/push future
+resolution, data-centric and gang scheduling, lineage and reliable-cache
+fault tolerance.
+"""
+
+from .config import Generation, ResolutionMode, RuntimeConfig, SchedulingPolicy
+from .ids import IdGenerator
+from .lineage import LineageGraph, UnrecoverableObjectError
+from .local import LocalActorHandle, LocalRuntime
+from .object_ref import ObjectRef, collect_refs, replace_refs
+from .object_store import LocalObjectStore, ObjectStoreFullError, StoredObject
+from .ownership import OwnershipEntry, OwnershipTable, ValueState
+from .raylet import Raylet
+from .runtime import (
+    ActorHandle,
+    ServerlessRuntime,
+    TaskError,
+    TaskTimeline,
+    make_reliable_cache,
+)
+from .scheduler import PlacementError, Scheduler
+from .task import ANY_COMPUTE_KIND, ActorSpec, TaskSpec, TaskState
+from .trace import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Generation",
+    "ResolutionMode",
+    "SchedulingPolicy",
+    "RuntimeConfig",
+    "IdGenerator",
+    "LineageGraph",
+    "UnrecoverableObjectError",
+    "ObjectRef",
+    "collect_refs",
+    "replace_refs",
+    "LocalObjectStore",
+    "StoredObject",
+    "ObjectStoreFullError",
+    "OwnershipTable",
+    "OwnershipEntry",
+    "ValueState",
+    "Raylet",
+    "ServerlessRuntime",
+    "ActorHandle",
+    "TaskError",
+    "TaskTimeline",
+    "make_reliable_cache",
+    "Scheduler",
+    "PlacementError",
+    "TaskSpec",
+    "TaskState",
+    "ActorSpec",
+    "ANY_COMPUTE_KIND",
+    "LocalRuntime",
+    "LocalActorHandle",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

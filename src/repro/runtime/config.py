@@ -1,0 +1,46 @@
+"""Runtime configuration knobs (the axes the benchmarks sweep)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Generation", "ResolutionMode", "SchedulingPolicy", "RuntimeConfig"]
+
+
+class Generation(enum.Enum):
+    """Figure 3: where raylets run on physically-disaggregated cards."""
+
+    GEN1 = 1  # DPU-centric: card's DPU raylet manages companion devices
+    GEN2 = 2  # device-centric: device-specific raylet per heterogeneous device
+
+
+class ResolutionMode(enum.Enum):
+    """§2.3.2: how futures are resolved."""
+
+    PULL = "pull"  # consumer pulls data from the producer on demand (Ray default)
+    PUSH = "push"  # producer pushes data to consumers proactively (Gen-2 addition)
+
+
+class SchedulingPolicy(enum.Enum):
+    ROUND_ROBIN = "round_robin"  # CPU-centric baseline
+    LOCALITY = "locality"  # data-centric: minimize estimated input movement
+    LEAST_LOADED = "least_loaded"
+
+
+@dataclass
+class RuntimeConfig:
+    generation: Generation = Generation.GEN2
+    resolution: ResolutionMode = ResolutionMode.PUSH
+    scheduling: SchedulingPolicy = SchedulingPolicy.LOCALITY
+    # fault tolerance: lineage replay is always available; a reliable cache
+    # (replication/EC) can be layered on via ``reliable_cache``.
+    max_lineage_replays: int = 32
+    # accounting
+    track_task_timeline: bool = True
+
+    def describe(self) -> str:
+        return (
+            f"gen{self.generation.value}/{self.resolution.value}/"
+            f"{self.scheduling.value}"
+        )

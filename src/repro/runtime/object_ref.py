@@ -1,0 +1,66 @@
+"""Futures: the pass-by-reference half of the task API.
+
+An :class:`ObjectRef` names an object that a task will (or did) produce.
+Functions exchange data "either by value or by reference" (§2.1); refs are
+resolved through one of the two protocols in
+:mod:`repro.runtime.resolution`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["ObjectRef", "collect_refs", "replace_refs"]
+
+
+class ObjectRef:
+    """A handle to a (possibly not-yet-computed) remote object."""
+
+    __slots__ = ("object_id", "owner", "task_id")
+
+    def __init__(self, object_id: str, owner: str = "", task_id: str = ""):
+        self.object_id = object_id
+        self.owner = owner  # worker/driver that created the ref (ownership protocol)
+        self.task_id = task_id  # producing task (lineage)
+
+    def __repr__(self) -> str:
+        return f"ObjectRef({self.object_id})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObjectRef):
+            return NotImplemented
+        return self.object_id == other.object_id
+
+    def __hash__(self) -> int:
+        return hash(self.object_id)
+
+
+def collect_refs(value: Any) -> List[ObjectRef]:
+    """All ObjectRefs reachable through lists/tuples/dicts in ``value``."""
+    out: List[ObjectRef] = []
+    _collect(value, out)
+    return out
+
+
+def _collect(value: Any, out: List[ObjectRef]) -> None:
+    if isinstance(value, ObjectRef):
+        out.append(value)
+    elif isinstance(value, (list, tuple)):
+        for v in value:
+            _collect(v, out)
+    elif isinstance(value, dict):
+        for v in value.values():
+            _collect(v, out)
+
+
+def replace_refs(value: Any, resolved: dict) -> Any:
+    """Structurally substitute refs with their resolved values."""
+    if isinstance(value, ObjectRef):
+        return resolved[value.object_id]
+    if isinstance(value, list):
+        return [replace_refs(v, resolved) for v in value]
+    if isinstance(value, tuple):
+        return tuple(replace_refs(v, resolved) for v in value)
+    if isinstance(value, dict):
+        return {k: replace_refs(v, resolved) for k, v in value.items()}
+    return value

@@ -1,0 +1,104 @@
+"""Per-node plasma-like object store with spill to disaggregated memory.
+
+Each raylet manages one of these ("a distributed object store called
+plasma", §2.3.1).  Values are real Python objects; capacity is accounted
+against the hosting device's memory, and overflow spills to a
+disaggregated-memory blade when the runtime has one (Gen-2 key change #3:
+"extend the caching layer to include disaggregated memory").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..cluster.hardware import Device
+
+__all__ = ["LocalObjectStore", "StoredObject", "ObjectStoreFullError"]
+
+
+class ObjectStoreFullError(MemoryError):
+    """No room locally and no spill target configured."""
+
+
+@dataclass
+class StoredObject:
+    object_id: str
+    value: Any
+    nbytes: int
+    device_id: str
+
+
+class LocalObjectStore:
+    """Object storage backed by one device's memory, LRU-spilled."""
+
+    def __init__(self, device: Device, spill_target: Optional["LocalObjectStore"] = None):
+        self.device = device
+        self.spill_target = spill_target
+        self._objects: "OrderedDict[str, StoredObject]" = OrderedDict()
+        self.spilled_out = 0
+        self.spilled_bytes = 0
+
+    @property
+    def node_id(self) -> str:
+        return self.device.node_id
+
+    def put(self, object_id: str, value: Any, nbytes: int) -> Tuple[StoredObject, int]:
+        """Store a value; returns (record, bytes_spilled_to_make_room)."""
+        if object_id in self._objects:
+            raise KeyError(f"object {object_id!r} already in store on {self.node_id}")
+        spilled = 0
+        while not self.device.reserve_memory(nbytes):
+            spilled += self._spill_one(needed=nbytes)
+        record = StoredObject(object_id, value, nbytes, self.device.device_id)
+        self._objects[object_id] = record
+        return record, spilled
+
+    def _spill_one(self, needed: int) -> int:
+        if not self._objects:
+            raise ObjectStoreFullError(
+                f"object of {needed}B cannot fit in empty store on "
+                f"{self.device.device_id} ({self.device.spec.memory_bytes}B)"
+            )
+        if self.spill_target is None:
+            raise ObjectStoreFullError(
+                f"store on {self.device.device_id} full and no spill target"
+            )
+        victim_id, victim = next(iter(self._objects.items()))
+        del self._objects[victim_id]
+        self.device.free_memory(victim.nbytes)
+        self.spill_target.put(victim_id, victim.value, victim.nbytes)
+        self.spilled_out += 1
+        self.spilled_bytes += victim.nbytes
+        return victim.nbytes
+
+    def get(self, object_id: str) -> StoredObject:
+        record = self._objects.get(object_id)
+        if record is None:
+            raise KeyError(f"object {object_id!r} not in store on {self.node_id}")
+        self._objects.move_to_end(object_id)
+        return record
+
+    def contains(self, object_id: str) -> bool:
+        return object_id in self._objects
+
+    def delete(self, object_id: str) -> bool:
+        record = self._objects.pop(object_id, None)
+        if record is None:
+            return False
+        self.device.free_memory(record.nbytes)
+        return True
+
+    def clear(self) -> None:
+        """Drop everything (node failure)."""
+        for record in self._objects.values():
+            self.device.free_memory(record.nbytes)
+        self._objects.clear()
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(r.nbytes for r in self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,115 @@
+"""The heterogeneity-aware ownership table.
+
+Ray's ownership protocol keeps, per object, the owning worker and the value
+location.  Figure 3(2): "We make Ray's ownership table heterogeneity-aware
+by adding a device ID and a handle to the device driver (DeviceID and
+DeviceHandle)" — that is exactly the :class:`OwnershipEntry` here.  The
+handle is opaque: in the real system it is a driver context, here an
+integer token minted per (device, object).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+__all__ = ["ValueState", "OwnershipEntry", "OwnershipTable"]
+
+
+class ValueState(enum.Enum):
+    PENDING = "pending"  # producing task not finished
+    READY = "ready"  # value materialized somewhere
+    LOST = "lost"  # all copies gone (lineage or reliable cache must recover)
+
+
+@dataclass
+class OwnershipEntry:
+    object_id: str
+    owner: str  # worker/driver id that holds the ref (ownership protocol)
+    task_id: str  # producing task (lineage edge)
+    state: ValueState = ValueState.PENDING
+    nbytes: int = 0
+    locations: Set[str] = field(default_factory=set)  # node ids with a copy
+    # -- the paper's extension (Figure 3) --
+    device_id: Optional[str] = None  # device holding the primary copy
+    device_handle: Optional[int] = None  # opaque handle to the device driver
+
+
+class OwnershipTable:
+    """Object directory + ownership metadata (lives in the GCS)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, OwnershipEntry] = {}
+        self._handles = itertools.count(1)
+
+    def create(self, object_id: str, owner: str, task_id: str) -> OwnershipEntry:
+        if object_id in self._entries:
+            raise KeyError(f"object {object_id!r} already registered")
+        entry = OwnershipEntry(object_id=object_id, owner=owner, task_id=task_id)
+        self._entries[object_id] = entry
+        return entry
+
+    def entry(self, object_id: str) -> OwnershipEntry:
+        entry = self._entries.get(object_id)
+        if entry is None:
+            raise KeyError(f"object {object_id!r} not in ownership table")
+        return entry
+
+    def contains(self, object_id: str) -> bool:
+        return object_id in self._entries
+
+    def mark_ready(
+        self,
+        object_id: str,
+        node_id: str,
+        nbytes: int,
+        device_id: Optional[str] = None,
+    ) -> OwnershipEntry:
+        entry = self.entry(object_id)
+        entry.state = ValueState.READY
+        entry.nbytes = nbytes
+        entry.locations.add(node_id)
+        if device_id is not None:
+            entry.device_id = device_id
+            entry.device_handle = next(self._handles)
+        return entry
+
+    def add_location(self, object_id: str, node_id: str) -> None:
+        entry = self.entry(object_id)
+        entry.locations.add(node_id)
+        if entry.state == ValueState.LOST:
+            entry.state = ValueState.READY
+
+    def drop_location(self, object_id: str, node_id: str) -> None:
+        entry = self.entry(object_id)
+        entry.locations.discard(node_id)
+        if not entry.locations and entry.state == ValueState.READY:
+            entry.state = ValueState.LOST
+
+    def drop_node(self, node_id: str) -> List[str]:
+        """A node died: forget its copies; return newly-lost object ids."""
+        lost = []
+        for entry in self._entries.values():
+            if node_id in entry.locations:
+                entry.locations.discard(node_id)
+                if not entry.locations and entry.state == ValueState.READY:
+                    entry.state = ValueState.LOST
+                    lost.append(entry.object_id)
+        return lost
+
+    def is_ready(self, object_id: str) -> bool:
+        return self.contains(object_id) and self.entry(object_id).state == ValueState.READY
+
+    def locations(self, object_id: str) -> List[str]:
+        return sorted(self.entry(object_id).locations)
+
+    def producing_task(self, object_id: str) -> str:
+        return self.entry(object_id).task_id
+
+    def objects(self) -> Iterable[OwnershipEntry]:
+        return self._entries.values()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,112 @@
+"""Raylets: the per-node (Gen-1) / per-device (Gen-2) control daemons.
+
+Figure 3's two generations differ in *where* raylets run:
+
+* **Gen-1** — one raylet per node, hosted on the server CPU or, for a
+  physically-disaggregated card, on its DPU.  Every control action for a
+  companion device (task dispatch, future resolution) is handled by — and
+  serialized through — the DPU raylet ("the management of tasks and
+  pointers must go through the centralized DPU").
+* **Gen-2** — additionally, a device-specific raylet on each heterogeneous
+  device, so control actions terminate at the device itself.
+
+A raylet owns an object store per managed device and a control
+:class:`Resource` that serializes its control-plane work; each action
+costs the *hosting* device's ``dispatch_overhead``, which is what makes a
+slow DPU a bottleneck for swarms of short-lived ops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..cluster.hardware import Device, DeviceKind
+from ..cluster.simtime import Resource, Simulator
+from .object_store import LocalObjectStore
+
+__all__ = ["Raylet"]
+
+
+class Raylet:
+    """A control daemon hosted on ``host_device``, managing ``devices``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_device: Device,
+        devices: List[Device],
+        spill_store: Optional[LocalObjectStore] = None,
+    ):
+        if host_device not in devices and host_device.kind != DeviceKind.DPU:
+            # A DPU raylet manages companions without being a compute target;
+            # any other host must manage itself.
+            devices = [host_device] + devices
+        self.sim = sim
+        self.host_device = host_device
+        self.devices = list(devices)
+        self.stores: Dict[str, LocalObjectStore] = {
+            dev.device_id: LocalObjectStore(dev, spill_target=spill_store)
+            for dev in self.devices
+        }
+        self.control_slot = Resource(sim, capacity=1, name=f"ctrl:{self.raylet_id}")
+        self.control_actions = 0
+        self.alive = True
+
+    @property
+    def raylet_id(self) -> str:
+        return f"raylet@{self.host_device.device_id}"
+
+    @property
+    def endpoint(self) -> str:
+        """Where control messages for this raylet terminate."""
+        return self.host_device.device_id
+
+    @property
+    def node_id(self) -> str:
+        return self.host_device.node_id
+
+    def manages(self, device_id: str) -> bool:
+        return device_id in self.stores
+
+    def store_of(self, device_id: str) -> LocalObjectStore:
+        store = self.stores.get(device_id)
+        if store is None:
+            raise KeyError(f"{self.raylet_id} does not manage device {device_id!r}")
+        return store
+
+    def find_object(self, object_id: str) -> Optional[LocalObjectStore]:
+        """The managed store holding ``object_id``, if any."""
+        for store in self.stores.values():
+            if store.contains(object_id):
+                return store
+        return None
+
+    def control(self, actions: int = 1):
+        """A process charging ``actions`` control-plane handling costs.
+
+        Control work is serialized on this raylet — the heart of the
+        CPU(DPU)-centric bottleneck Gen-2 removes.
+        """
+        cost = self.host_device.spec.dispatch_overhead * actions
+        self.control_actions += actions
+
+        def _handle() -> Generator:
+            yield self.control_slot.request()
+            try:
+                yield self.sim.timeout(cost)
+            finally:
+                self.control_slot.release()
+
+        return self.sim.process(_handle(), name=f"{self.raylet_id}:ctrl")
+
+    def fail(self) -> None:
+        """Node failure: all local object copies vanish."""
+        self.alive = False
+        for store in self.stores.values():
+            store.clear()
+
+    def restart(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Raylet({self.raylet_id}, devices={[d.device_id for d in self.devices]})"

@@ -1,0 +1,983 @@
+"""The stateful serverless runtime: Skadi's execution engine.
+
+This is the paper's §2.3 built over the simulated cluster: a centralized
+scheduler plus raylets (per-node in Gen-1, per-device in Gen-2), futures
+resolved by a pull- or push-based protocol, a heterogeneity-aware ownership
+table, per-device plasma stores with spill to disaggregated memory, lineage
+or reliable-cache fault tolerance, and task/actor APIs.
+
+Tasks carry real Python payloads — results are genuine values — while the
+simulator charges virtual time for every control message, data transfer,
+and device-seconds of compute, so the same run yields both correct answers
+and performance shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Generator, List, Optional, Sequence, Tuple
+
+from ..caching.kv import estimate_nbytes
+from ..caching.store import CachingLayer, CacheNode, ObjectLostError
+from ..cluster.cluster import Cluster
+from ..cluster.durable import DurableStore
+from ..cluster.hardware import Device, DeviceKind
+from ..cluster.node import NodeKind
+from ..cluster.simtime import Interrupt, Signal
+from .config import Generation, ResolutionMode, RuntimeConfig, SchedulingPolicy
+from .ids import IdGenerator
+from .lineage import LineageGraph, UnrecoverableObjectError
+from .object_ref import ObjectRef, collect_refs, replace_refs
+from .object_store import LocalObjectStore
+from .ownership import OwnershipTable, ValueState
+from .raylet import Raylet
+from .scheduler import PlacementError, Scheduler
+from .task import ANY_COMPUTE_KIND, ActorSpec, TaskSpec, TaskState
+
+__all__ = ["ServerlessRuntime", "ActorHandle", "TaskError", "TaskTimeline"]
+
+DRIVER = "driver"
+
+
+class TaskError(RuntimeError):
+    """A task payload raised; surfaces at ``get``."""
+
+
+@dataclass
+class TaskTimeline:
+    """Per-task virtual-time milestones (benchmark raw material)."""
+
+    task_id: str
+    name: str
+    submitted: float = 0.0
+    dispatched: float = 0.0  # lease reached the raylet
+    inputs_ready: float = 0.0  # all arguments local
+    started: float = 0.0  # device slot acquired
+    finished: float = 0.0
+    device_id: str = ""
+
+    @property
+    def input_stall(self) -> float:
+        """Time spent waiting for arguments — pull vs push attacks this."""
+        return self.inputs_ready - self.dispatched
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.submitted
+
+
+class _TaskCtx:
+    """Book-keeping for one in-flight task."""
+
+    __slots__ = (
+        "spec", "ref", "device", "raylet", "done", "state", "timeline",
+        "error", "replays", "proc",
+    )
+
+    def __init__(self, spec: TaskSpec, ref: ObjectRef, done: Signal):
+        self.spec = spec
+        self.ref = ref
+        self.device: Optional[Device] = None
+        self.raylet: Optional[Raylet] = None
+        self.done = done
+        self.state = TaskState.PENDING
+        self.timeline = TaskTimeline(spec.task_id, spec.name)
+        self.error: Optional[str] = None
+        self.replays = 0
+        self.proc = None
+
+
+class _ActorLock:
+    """FIFO mutual exclusion for one actor's method calls."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.busy = False
+        self.queue: List[Signal] = []
+
+    def acquire(self) -> Generator:
+        if not self.busy:
+            self.busy = True
+            return
+            yield  # noqa: unreachable — marks this function as a generator
+        turn = Signal(self.sim)
+        self.queue.append(turn)
+        yield turn  # the releasing holder passes the baton; busy stays True
+
+    def release(self) -> None:
+        if self.queue:
+            nxt = self.queue.pop(0)
+            self.sim.schedule(0.0, nxt.succeed)
+        else:
+            self.busy = False
+
+
+class ActorHandle:
+    """Client-side handle to a stateful actor."""
+
+    def __init__(self, runtime: "ServerlessRuntime", actor_id: str, device_id: str):
+        self._runtime = runtime
+        self.actor_id = actor_id
+        self.device_id = device_id
+
+    def call(
+        self,
+        method: Callable[..., Any],
+        *args: Any,
+        compute_cost: float = 1e-4,
+        output_nbytes: Optional[int] = None,
+        **kwargs: Any,
+    ) -> ObjectRef:
+        """Invoke ``method(state, *args, **kwargs)`` serially on the actor."""
+        return self._runtime._submit_actor_task(
+            self, method, args, kwargs, compute_cost, output_nbytes
+        )
+
+    def __repr__(self) -> str:
+        return f"ActorHandle({self.actor_id}@{self.device_id})"
+
+
+class ServerlessRuntime:
+    """The distributed task execution engine over a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[RuntimeConfig] = None,
+        reliable_cache: Optional[CachingLayer] = None,
+        durable_store: Optional["DurableStore"] = None,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.net = cluster.network
+        self.config = config or RuntimeConfig()
+        self.reliable_cache = reliable_cache
+        self.durable_store = durable_store
+        self._checkpoints: set = set()  # object ids checkpointed to durable
+        self.ids = IdGenerator()
+        self.ownership = OwnershipTable()
+        self.lineage = LineageGraph()
+
+        self._raylets: List[Raylet] = []
+        self._raylet_of_device: Dict[str, Raylet] = {}
+        self._raylets_by_node: Dict[str, List[Raylet]] = {}
+        self._build_raylets()
+
+        head = self._head_node()
+        self.gcs_endpoint = head.attachment_endpoint
+        schedulable = [
+            dev
+            for dev in self.cluster.all_devices()
+            if dev.kind in (DeviceKind.CPU, DeviceKind.GPU, DeviceKind.FPGA)
+            and dev.device_id in self._raylet_of_device
+        ]
+        self.scheduler = Scheduler(
+            cluster,
+            self.ownership,
+            self.config.scheduling,
+            schedulable,
+            endpoint=self.gcs_endpoint,
+        )
+        self.scheduler.alive_filter = self._device_alive
+
+        self._ctxs: Dict[str, _TaskCtx] = {}
+        self._ctx_of_object: Dict[str, _TaskCtx] = {}
+        self._waiting: List[_TaskCtx] = []  # pull mode: deps not yet ready
+        self._gangs: Dict[str, List[_TaskCtx]] = {}
+        self._subs: Dict[str, List[_TaskCtx]] = {}  # push subscriptions
+        self._arrivals: Dict[Tuple[str, str], Signal] = {}
+        self._actor_state: Dict[str, Any] = {}
+        self._actor_locks: Dict[str, "Signal"] = {}
+        self._actor_queues: Dict[str, List] = {}
+        self._actor_device: Dict[str, str] = {}
+        self._dead_actors: Dict[str, str] = {}  # actor_id -> cause
+        self.timelines: List[TaskTimeline] = []
+        self.tasks_finished = 0
+        self.tasks_failed = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def _head_node(self):
+        servers = self.cluster.nodes_of_kind(NodeKind.SERVER)
+        if servers:
+            return servers[0]
+        return next(iter(self.cluster.nodes.values()))
+
+    def _build_raylets(self) -> None:
+        spill_store = self._build_spill_store()
+        self._spill_store = spill_store
+        for node in self.cluster.nodes.values():
+            raylets = self._raylets_for_node(node, spill_store)
+            self._raylets.extend(raylets)
+            self._raylets_by_node[node.node_id] = raylets
+            for raylet in raylets:
+                for dev in raylet.devices:
+                    self._raylet_of_device[dev.device_id] = raylet
+
+    def _build_spill_store(self) -> Optional[LocalObjectStore]:
+        blades = self.cluster.nodes_of_kind(NodeKind.MEMORY_BLADE)
+        if not blades:
+            return None
+        return LocalObjectStore(blades[0].attachment_device)
+
+    def _raylets_for_node(self, node, spill_store) -> List[Raylet]:
+        if node.kind == NodeKind.SERVER:
+            cpu = node.first_of_kind(DeviceKind.CPU)
+            return [Raylet(self.sim, cpu, list(node.devices), spill_store)]
+        if node.kind == NodeKind.MEMORY_BLADE:
+            return []  # blades store spilled objects; no compute raylet
+        if node.kind == NodeKind.ACCELERATOR:
+            return [Raylet(self.sim, node.devices[0], [node.devices[0]], spill_store)]
+        # physically-disaggregated card
+        dpu = node.first_of_kind(DeviceKind.DPU)
+        companions = [d for d in node.devices if d.kind != DeviceKind.DPU]
+        if self.config.generation == Generation.GEN1:
+            return [Raylet(self.sim, dpu, companions, spill_store)]
+        # Gen-2: device-specific raylet on every heterogeneous device
+        return [Raylet(self.sim, dev, [dev], spill_store) for dev in companions]
+
+    # -- helpers -----------------------------------------------------------------
+
+    def raylet_for_device(self, device_id: str) -> Raylet:
+        raylet = self._raylet_of_device.get(device_id)
+        if raylet is None:
+            raise KeyError(f"no raylet manages device {device_id!r}")
+        return raylet
+
+    def _device_alive(self, device_id: str) -> bool:
+        raylet = self._raylet_of_device.get(device_id)
+        return raylet is not None and raylet.alive
+
+    def _find_store_with(self, object_id: str) -> Optional[LocalObjectStore]:
+        entry = self.ownership.entry(object_id)
+        for node_id in sorted(entry.locations):
+            for raylet in self._raylets_by_node.get(node_id, []):
+                if not raylet.alive:
+                    continue
+                store = raylet.find_object(object_id)
+                if store is not None:
+                    return store
+        # overflow objects live on the disaggregated-memory blade
+        if self._spill_store is not None and self._spill_store.contains(object_id):
+            return self._spill_store
+        return None
+
+    # -- public API: objects ------------------------------------------------------
+
+    def put(self, value: Any, nbytes: Optional[int] = None) -> ObjectRef:
+        """Driver-side put: store on the head node, immediately ready."""
+        oid = self.ids.object_id()
+        nbytes = nbytes if nbytes is not None else estimate_nbytes(value)
+        self.ownership.create(oid, owner=DRIVER, task_id="")
+        head = self._head_node()
+        raylet = self._raylets_by_node[head.node_id][0]
+        store = raylet.store_of(raylet.host_device.device_id)
+        store.put(oid, value, nbytes)
+        self.ownership.mark_ready(oid, head.node_id, nbytes, raylet.host_device.device_id)
+        self._on_object_ready(oid)
+        return ObjectRef(oid, owner=DRIVER)
+
+    def get(self, refs, timeout: Optional[float] = None) -> Any:
+        """Block the driver until ref(s) resolve; returns real value(s)."""
+        single = isinstance(refs, ObjectRef)
+        ref_list: List[ObjectRef] = [refs] if single else list(refs)
+        for attempt in range(self.config.max_lineage_replays + 1):
+            self.sim.run(until=timeout)
+            lost = []
+            for ref in ref_list:
+                ctx = self._ctx_of_object.get(ref.object_id)
+                if ctx is not None and ctx.state == TaskState.FAILED:
+                    raise TaskError(
+                        f"task {ctx.spec.task_id} ({ctx.spec.name}) failed: {ctx.error}"
+                    )
+                if not self.ownership.contains(ref.object_id):
+                    raise KeyError(f"unknown object {ref.object_id!r}")
+                entry = self.ownership.entry(ref.object_id)
+                if entry.state == ValueState.LOST:
+                    lost.append(ref)
+                elif entry.state == ValueState.PENDING:
+                    if ctx is None:
+                        raise KeyError(
+                            f"object {ref.object_id!r} pending with no producing task"
+                        )
+                    failed = self._find_failed_upstream(ref.object_id, set())
+                    if failed is not None:
+                        raise TaskError(
+                            f"task {failed.spec.task_id} ({failed.spec.name}) "
+                            f"failed upstream of {ref.object_id}: {failed.error}"
+                        )
+            if not lost:
+                break
+            for ref in lost:
+                self._recover(ref)
+        else:
+            raise UnrecoverableObjectError(
+                f"objects still lost after {self.config.max_lineage_replays} replays"
+            )
+        values = [self._read_value(ref) for ref in ref_list]
+        return values[0] if single else values
+
+    def wait(
+        self, refs: Sequence[ObjectRef], num_returns: int = 1
+    ) -> Tuple[List[ObjectRef], List[ObjectRef]]:
+        """Advance virtual time until ``num_returns`` of ``refs`` are ready."""
+        refs = list(refs)
+        if num_returns > len(refs):
+            raise ValueError(f"num_returns={num_returns} > {len(refs)} refs")
+        while True:
+            ready = [r for r in refs if self.ownership.is_ready(r.object_id)]
+            if len(ready) >= num_returns:
+                not_ready = [r for r in refs if r not in ready]
+                return ready[:num_returns], ready[num_returns:] + not_ready
+            nxt = self.sim.peek()
+            if nxt is None:
+                raise RuntimeError(
+                    f"wait() deadlocked: only {len(ready)}/{num_returns} refs can become ready"
+                )
+            self.sim.run(until=nxt)
+
+    def _find_failed_upstream(self, object_id: str, visited: set) -> Optional[_TaskCtx]:
+        """Walk a pending object's producer chain for a failed task."""
+        if object_id in visited:
+            return None
+        visited.add(object_id)
+        ctx = self._ctx_of_object.get(object_id)
+        if ctx is None:
+            return None
+        if ctx.state == TaskState.FAILED:
+            return ctx
+        for dep in ctx.spec.dependencies:
+            found = self._find_failed_upstream(dep.object_id, visited)
+            if found is not None:
+                return found
+        return None
+
+    def _read_value(self, ref: ObjectRef) -> Any:
+        store = self._find_store_with(ref.object_id)
+        if store is not None:
+            return store.get(ref.object_id).value
+        if self.reliable_cache is not None and self.reliable_cache.contains(ref.object_id):
+            value, _ = self.reliable_cache.get(ref.object_id)
+            return value
+        raise UnrecoverableObjectError(f"object {ref.object_id!r} has no live copy")
+
+    # -- public API: tasks -----------------------------------------------------------
+
+    def submit(
+        self,
+        func: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        compute_cost: float = 1e-4,
+        output_nbytes: Optional[int] = None,
+        supported_kinds: FrozenSet[DeviceKind] = frozenset({DeviceKind.CPU}),
+        pinned_device: Optional[str] = None,
+        name: str = "",
+        gang_group: Optional[str] = None,
+    ) -> ObjectRef:
+        """Launch a task; returns the future for its (single) output."""
+        spec = TaskSpec(
+            task_id=self.ids.task_id(),
+            func=func,
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            compute_cost=compute_cost,
+            output_nbytes=output_nbytes,
+            supported_kinds=frozenset(supported_kinds),
+            pinned_device=pinned_device,
+            name=name,
+            gang_group=gang_group,
+        )
+        return self._submit_spec(spec)
+
+    def _submit_spec(self, spec: TaskSpec) -> ObjectRef:
+        oid = self.ids.object_id()
+        self.ownership.create(oid, owner=DRIVER, task_id=spec.task_id)
+        ref = ObjectRef(oid, owner=DRIVER, task_id=spec.task_id)
+        self.lineage.record(spec, [oid])
+        ctx = _TaskCtx(spec, ref, Signal(self.sim))
+        ctx.timeline.submitted = self.sim.now
+        self._ctxs[spec.task_id] = ctx
+        self._ctx_of_object[oid] = ctx
+        if spec.gang_group is not None:
+            self._gangs.setdefault(spec.gang_group, []).append(ctx)
+            return ref
+        self._route(ctx)
+        return ref
+
+    def launch_gang(self, gang_group: str) -> List[ObjectRef]:
+        """Dispatch all tasks submitted under ``gang_group`` atomically."""
+        ctxs = self._gangs.pop(gang_group, [])
+        if not ctxs:
+            raise KeyError(f"no pending tasks in gang {gang_group!r}")
+        placements = self.scheduler.place_gang([c.spec for c in ctxs])
+        for ctx in ctxs:
+            ctx.device = placements[ctx.spec.task_id]
+            self._route(ctx, preplaced=True)
+        return [c.ref for c in ctxs]
+
+    def _route(self, ctx: _TaskCtx, preplaced: bool = False) -> None:
+        """Decide when to dispatch, per resolution mode."""
+        if self.config.resolution == ResolutionMode.PUSH:
+            # Eager: place now, subscribe to inputs, raylet waits for pushes.
+            self._dispatch(ctx, preplaced=preplaced)
+            return
+        if self._deps_ready(ctx.spec):
+            self._dispatch(ctx, preplaced=preplaced)
+        else:
+            self._waiting.append(ctx)
+
+    def _deps_ready(self, spec: TaskSpec) -> bool:
+        return all(self.ownership.is_ready(r.object_id) for r in spec.dependencies)
+
+    def _dispatch(self, ctx: _TaskCtx, preplaced: bool = False) -> None:
+        if not preplaced or ctx.device is None:
+            ctx.device = self.scheduler.place(ctx.spec)
+            # skip dead devices
+            if not self._device_alive(ctx.device.device_id):
+                live = [
+                    d
+                    for d in self.scheduler.candidates(ctx.spec)
+                    if self._device_alive(d.device_id)
+                ]
+                if not live:
+                    raise PlacementError(
+                        f"no live device for task {ctx.spec.task_id}"
+                    )
+                ctx.device = live[0]
+        ctx.raylet = self.raylet_for_device(ctx.device.device_id)
+        ctx.state = TaskState.SCHEDULED
+        if self.config.resolution == ResolutionMode.PUSH:
+            self._register_subscriptions(ctx)
+        ctx.proc = self.sim.process(self._run_task(ctx), name=f"task:{ctx.spec.task_id}")
+
+    # -- push-mode plumbing ----------------------------------------------------------
+
+    def _arrival_signal(self, object_id: str, device_id: str) -> Signal:
+        key = (object_id, device_id)
+        sig = self._arrivals.get(key)
+        if sig is None:
+            sig = Signal(self.sim)
+            self._arrivals[key] = sig
+        return sig
+
+    def _register_subscriptions(self, ctx: _TaskCtx) -> None:
+        assert ctx.device is not None and ctx.raylet is not None
+        for ref in ctx.spec.dependencies:
+            oid = ref.object_id
+            if ctx.raylet.store_of(ctx.device.device_id).contains(oid):
+                sig = self._arrival_signal(oid, ctx.device.device_id)
+                if not sig.triggered:
+                    sig.succeed()
+                continue
+            self._subs.setdefault(oid, []).append(ctx)
+            if self.ownership.is_ready(oid):
+                # producer already done: push starts immediately
+                self.sim.process(
+                    self._push_to(oid, ctx), name=f"push:{oid}->{ctx.device.device_id}"
+                )
+
+    def _push_to(self, object_id: str, ctx: _TaskCtx) -> Generator:
+        """Producer-side proactive push of one object to a consumer device."""
+        assert ctx.device is not None and ctx.raylet is not None
+        sig = self._arrival_signal(object_id, ctx.device.device_id)
+        if sig.triggered:
+            return
+        src_store = self._find_store_with(object_id)
+        if src_store is None:
+            return  # lost; recovery path will handle it
+        entry = self.ownership.entry(object_id)
+        dst_store = ctx.raylet.store_of(ctx.device.device_id)
+        if src_store is not dst_store:
+            yield self.net.transfer(
+                src_store.device.device_id,
+                ctx.device.device_id,
+                entry.nbytes,
+                label=f"push:{object_id}",
+            )
+            if not dst_store.contains(object_id):
+                dst_store.put(object_id, src_store.get(object_id).value, entry.nbytes)
+                self.ownership.add_location(object_id, ctx.device.node_id)
+        if not sig.triggered:
+            sig.succeed()
+
+    # -- pull-mode plumbing ----------------------------------------------------------
+
+    def _pull(self, ref: ObjectRef, ctx: _TaskCtx) -> Generator:
+        """Ray's default resolution: locate via GCS, then fetch on demand.
+
+        Fast path: when the raylet itself manages a copy (Gen-1's DPU raylet
+        owns all of its card's memory — the Figure 3 ownership extension),
+        it skips the GCS and pull-request RPCs; it still pays its control
+        handling and the intra-card transfer through the DPU.
+        """
+        assert ctx.device is not None and ctx.raylet is not None
+        raylet = ctx.raylet
+        sibling_store = raylet.find_object(ref.object_id)
+        if sibling_store is not None:
+            yield raylet.control()
+            src_store = sibling_store
+            entry = self.ownership.entry(ref.object_id)
+        else:
+            # 1. location lookup round-trip to the GCS
+            yield self.net.rpc(raylet.endpoint, self.gcs_endpoint, label="locate")
+            entry = self.ownership.entry(ref.object_id)
+            if entry.state != ValueState.READY:
+                raise UnrecoverableObjectError(
+                    f"pull of {ref.object_id!r} in state {entry.state.value}"
+                )
+            src_store = self._find_store_with(ref.object_id)
+            if src_store is None:
+                raise UnrecoverableObjectError(
+                    f"{ref.object_id!r} marked ready but no live copy found"
+                )
+            # 2. pull request round-trip to the source raylet (+ its handling
+            # cost); spilled objects are served by the blade controller
+            src_raylet = self._raylet_of_device.get(src_store.device.device_id)
+            src_endpoint = (
+                src_raylet.endpoint
+                if src_raylet is not None
+                else src_store.device.device_id
+            )
+            yield self.net.rpc(raylet.endpoint, src_endpoint, label="pullreq")
+            if src_raylet is not None:
+                yield src_raylet.control()
+        # 3. bulk data transfer to the consumer device
+        yield self.net.transfer(
+            src_store.device.device_id,
+            ctx.device.device_id,
+            entry.nbytes,
+            label=f"pull:{ref.object_id}",
+        )
+        dst_store = raylet.store_of(ctx.device.device_id)
+        if not dst_store.contains(ref.object_id):
+            dst_store.put(ref.object_id, src_store.get(ref.object_id).value, entry.nbytes)
+            self.ownership.add_location(ref.object_id, ctx.device.node_id)
+
+    # -- the task lifecycle -------------------------------------------------------------
+
+    def _run_task(self, ctx: _TaskCtx) -> Generator:
+        spec, device, raylet = ctx.spec, ctx.device, ctx.raylet
+        assert device is not None and raylet is not None
+        try:
+            # 1. lease travels scheduler -> raylet; raylet handles it
+            yield self.net.message(self.scheduler.endpoint, raylet.endpoint, label="lease")
+            yield raylet.control()
+            ctx.timeline.dispatched = self.sim.now
+            ctx.state = TaskState.RESOLVING
+
+            # 2. argument resolution: inputs must reach *this device's*
+            # store — a copy on a sibling device of the same card still has
+            # to cross the intra-card link (through the DPU)
+            local_store = raylet.store_of(device.device_id)
+            missing = [
+                ref
+                for ref in spec.dependencies
+                if not local_store.contains(ref.object_id)
+            ]
+            if self.config.resolution == ResolutionMode.PULL:
+                if missing:
+                    yield self.sim.all_of(
+                        [
+                            self.sim.process(
+                                self._pull(ref, ctx), name=f"pull:{ref.object_id}"
+                            )
+                            for ref in missing
+                        ]
+                    )
+            else:
+                sigs = [
+                    self._arrival_signal(ref.object_id, device.device_id)
+                    for ref in spec.dependencies
+                ]
+                pending = [s for s in sigs if not s.triggered]
+                if pending:
+                    yield self.sim.all_of(pending)
+            ctx.timeline.inputs_ready = self.sim.now
+
+            # Gen-1: the DPU raylet must poke the companion device
+            if raylet.endpoint != device.device_id:
+                yield self.net.message(raylet.endpoint, device.device_id, label="launch")
+
+            # 3. actor serialization, if any
+            if spec.actor_id is not None:
+                yield self._actor_acquire(spec.actor_id)
+            try:
+                # 4. burn device time, then run the real payload
+                ctx.state = TaskState.RUNNING
+                self.scheduler.task_started(device.device_id)
+                started_proc = device.execute(spec.compute_cost, label=spec.name)
+                ctx.timeline.started = self.sim.now
+                yield started_proc
+                value, nbytes = self._execute_payload(ctx)
+            finally:
+                if spec.actor_id is not None:
+                    self._actor_release(spec.actor_id)
+                self.scheduler.task_finished(device.device_id)
+
+            # 5. store the output locally
+            store = raylet.store_of(device.device_id)
+            if store.contains(ctx.ref.object_id):  # replay may have raced
+                store.delete(ctx.ref.object_id)
+            store.put(ctx.ref.object_id, value, nbytes)
+            self.ownership.mark_ready(
+                ctx.ref.object_id, device.node_id, nbytes, device.device_id
+            )
+
+            # 6. optional reliable-cache write (replication/EC)
+            if self.reliable_cache is not None:
+                cost = self.reliable_cache.put(
+                    ctx.ref.object_id, value, nbytes, preferred_node=device.node_id
+                )
+                yield self.sim.timeout(cost)
+
+            # 7. completion notification back to the scheduler/GCS
+            yield self.net.message(raylet.endpoint, self.scheduler.endpoint, label="done")
+            ctx.state = TaskState.FINISHED
+            ctx.timeline.finished = self.sim.now
+            ctx.timeline.device_id = device.device_id
+            self.tasks_finished += 1
+            if self.config.track_task_timeline:
+                self.timelines.append(ctx.timeline)
+
+            # 8. proactive pushes to subscribed consumers
+            if self.config.resolution == ResolutionMode.PUSH:
+                for sub in self._subs.pop(ctx.ref.object_id, []):
+                    self.sim.process(
+                        self._push_to(ctx.ref.object_id, sub),
+                        name=f"push:{ctx.ref.object_id}",
+                    )
+            self._on_object_ready(ctx.ref.object_id)
+            ctx.done.succeed()
+        except Interrupt:
+            # node died under us: resubmit elsewhere
+            ctx.replays += 1
+            if ctx.replays > self.config.max_lineage_replays:
+                ctx.state = TaskState.FAILED
+                ctx.error = "interrupted too many times"
+                ctx.done.succeed()
+                return
+            ctx.device = None
+            ctx.raylet = None
+            ctx.state = TaskState.PENDING
+            self._route(ctx)
+        except Exception as exc:  # payload or protocol error
+            if isinstance(exc, (UnrecoverableObjectError, PlacementError)):
+                raise
+            ctx.state = TaskState.FAILED
+            ctx.error = f"{type(exc).__name__}: {exc}"
+            self.tasks_failed += 1
+            ctx.done.succeed()
+
+    def _execute_payload(self, ctx: _TaskCtx) -> Tuple[Any, int]:
+        """Run the real Python function with resolved arguments."""
+        spec = ctx.spec
+        assert ctx.raylet is not None
+        resolved: Dict[str, Any] = {}
+        for ref in spec.dependencies:
+            store = ctx.raylet.find_object(ref.object_id)
+            if store is None:
+                raise UnrecoverableObjectError(
+                    f"argument {ref.object_id!r} vanished before execution"
+                )
+            resolved[ref.object_id] = store.get(ref.object_id).value
+        args = replace_refs(list(spec.args), resolved)
+        kwargs = replace_refs(dict(spec.kwargs), resolved)
+        if spec.actor_id is not None:
+            if spec.actor_id in self._dead_actors:
+                raise TaskError(
+                    f"actor {spec.actor_id} is dead: {self._dead_actors[spec.actor_id]}"
+                )
+            state = self._actor_state[spec.actor_id]
+            value = spec.func(state, *args, **kwargs)
+        else:
+            value = spec.func(*args, **kwargs)
+        nbytes = (
+            spec.output_nbytes
+            if spec.output_nbytes is not None
+            else estimate_nbytes(value)
+        )
+        return value, nbytes
+
+    def _on_object_ready(self, object_id: str) -> None:
+        """Pull mode: newly-ready objects may unblock waiting tasks."""
+        if not self._waiting:
+            return
+        still_waiting: List[_TaskCtx] = []
+        for ctx in self._waiting:
+            if self._deps_ready(ctx.spec):
+                self._dispatch(ctx)
+            else:
+                still_waiting.append(ctx)
+        self._waiting = still_waiting
+
+    # -- actors ------------------------------------------------------------------------
+
+    def create_actor(
+        self,
+        ctor: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        supported_kinds: FrozenSet[DeviceKind] = frozenset({DeviceKind.CPU}),
+        pinned_device: Optional[str] = None,
+    ) -> ActorHandle:
+        """Instantiate a stateful actor on a device chosen by the scheduler
+        (or pinned explicitly)."""
+        actor_id = self.ids.actor_id()
+        probe = TaskSpec(
+            task_id=f"{actor_id}-placement",
+            func=ctor,
+            supported_kinds=frozenset(supported_kinds),
+            pinned_device=pinned_device,
+        )
+        device = self.scheduler.place(probe)
+        self._actor_state[actor_id] = ctor(*args, **(kwargs or {}))
+        self._actor_queues[actor_id] = []
+        self._actor_device[actor_id] = device.device_id
+        return ActorHandle(self, actor_id, device.device_id)
+
+    def _submit_actor_task(
+        self,
+        handle: ActorHandle,
+        method: Callable[..., Any],
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+        compute_cost: float,
+        output_nbytes: Optional[int],
+    ) -> ObjectRef:
+        spec = TaskSpec(
+            task_id=self.ids.task_id(),
+            func=method,
+            args=tuple(args),
+            kwargs=dict(kwargs),
+            compute_cost=compute_cost,
+            output_nbytes=output_nbytes,
+            supported_kinds=ANY_COMPUTE_KIND,
+            pinned_device=handle.device_id,
+            name=f"{handle.actor_id}.{getattr(method, '__name__', 'method')}",
+            actor_id=handle.actor_id,
+        )
+        return self._submit_spec(spec)
+
+    def _actor_acquire(self, actor_id: str):
+        lock = self._actor_locks.get(actor_id)
+        if lock is None:
+            lock = _ActorLock(self.sim)
+            self._actor_locks[actor_id] = lock
+        return self.sim.process(lock.acquire(), name=f"{actor_id}:acquire")
+
+    def _actor_release(self, actor_id: str) -> None:
+        self._actor_locks[actor_id].release()
+
+    # -- explicit memory management -----------------------------------------------------
+
+    def free(self, refs) -> int:
+        """Release objects the application no longer needs.
+
+        Drops every in-cluster copy and the directory entry; afterwards the
+        ref cannot be ``get`` (KeyError), and lineage will not resurrect it.
+        Returns the number of bytes released.
+        """
+        refs = [refs] if isinstance(refs, ObjectRef) else list(refs)
+        released = 0
+        for ref in refs:
+            oid = ref.object_id
+            if not self.ownership.contains(oid):
+                continue
+            entry = self.ownership.entry(oid)
+            for node_id in list(entry.locations):
+                for raylet in self._raylets_by_node.get(node_id, []):
+                    store = raylet.find_object(oid)
+                    if store is not None and store.delete(oid):
+                        released += entry.nbytes
+            if self._spill_store is not None:
+                self._spill_store.delete(oid)
+            if self.reliable_cache is not None:
+                self.reliable_cache.delete(oid)
+            entry.locations.clear()
+            self.ownership._entries.pop(oid, None)
+            self._ctx_of_object.pop(oid, None)
+        return released
+
+    # -- checkpointing (bounding lineage depth) -------------------------------------------
+
+    def checkpoint(self, refs) -> None:
+        """Persist ready objects to durable storage.
+
+        Recovery consults checkpoints before replaying lineage, so a
+        checkpoint bounds the replay depth of everything downstream of it
+        (the lineage-stash style trade: durable writes now vs. replay later).
+        """
+        if self.durable_store is None:
+            raise RuntimeError("runtime was built without a durable store")
+        refs = [refs] if isinstance(refs, ObjectRef) else list(refs)
+        for ref in refs:
+            oid = ref.object_id
+            self.sim.run()  # ensure the producer finished
+            if not self.ownership.is_ready(oid):
+                raise ValueError(f"cannot checkpoint unready object {oid!r}")
+            entry = self.ownership.entry(oid)
+            store = self._find_store_with(oid)
+            if store is None:
+                raise UnrecoverableObjectError(f"{oid!r} has no live copy")
+            value = store.get(oid).value
+            proc = self.durable_store.put(oid, value, entry.nbytes)
+            self.sim.run()
+            assert proc.triggered
+            self._checkpoints.add(oid)
+
+    def _restore_from_checkpoint(self, object_id: str) -> bool:
+        if (
+            self.durable_store is None
+            or object_id not in self._checkpoints
+            or not self.durable_store.contains(object_id)
+        ):
+            return False
+        entry = self.ownership.entry(object_id)
+        proc = self.durable_store.get(object_id)
+        self.sim.run()
+        value = proc.value
+        head = self._head_node()
+        raylet = self._raylets_by_node[head.node_id][0]
+        store = raylet.store_of(raylet.host_device.device_id)
+        if not store.contains(object_id):
+            store.put(object_id, value, entry.nbytes)
+        self.ownership.mark_ready(
+            object_id, head.node_id, entry.nbytes, raylet.host_device.device_id
+        )
+        self._on_object_ready(object_id)
+        return True
+
+    def _restore_checkpoint_frontier(self, object_id: str, visited: set) -> None:
+        """Restore the shallowest checkpointed ancestors a replay of
+        ``object_id`` would need (each restore pays a durable read, so
+        restoring more than the frontier wastes recovery time)."""
+        if object_id in visited:
+            return
+        visited.add(object_id)
+        if not self.ownership.contains(object_id):
+            return
+        if self.ownership.entry(object_id).state == ValueState.READY:
+            return
+        if self._restore_from_checkpoint(object_id):
+            return
+        task = self.lineage.producer(object_id)
+        if task is None:
+            return
+        for dep in task.dependencies:
+            self._restore_checkpoint_frontier(dep.object_id, visited)
+
+    # -- failures & recovery ----------------------------------------------------------------
+
+    def fail_node(self, node_id: str) -> List[str]:
+        """Kill a node: objects on it vanish, running tasks get interrupted.
+
+        Returns the object ids that became LOST.
+        """
+        for raylet in self._raylets_by_node.get(node_id, []):
+            raylet.fail()
+        lost = self.ownership.drop_node(node_id)
+        # actor state is volatile: actors homed on the node die with it
+        for actor_id, device_id in self._actor_device.items():
+            if (
+                actor_id not in self._dead_actors
+                and self.cluster.node_of_device(device_id).node_id == node_id
+            ):
+                self._dead_actors[actor_id] = f"node {node_id} failed"
+                self._actor_state.pop(actor_id, None)
+        # interrupt in-flight tasks placed there; they resubmit themselves
+        for ctx in self._ctxs.values():
+            if (
+                ctx.device is not None
+                and ctx.device.node_id == node_id
+                and ctx.state in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
+                and ctx.proc is not None
+            ):
+                ctx.proc.interrupt("node failure")
+        return lost
+
+    def restart_node(self, node_id: str) -> None:
+        for raylet in self._raylets_by_node.get(node_id, []):
+            raylet.restart()
+
+    def _recover(self, ref: ObjectRef) -> None:
+        """Bring a LOST object back: checkpoint, reliable cache, or lineage."""
+        oid = ref.object_id
+        if self._restore_from_checkpoint(oid):
+            return
+        # restore only the checkpoint *frontier* the replay actually needs:
+        # walking producers from the target, stop at the first checkpointed
+        # (or still-ready) ancestor on each path
+        self._restore_checkpoint_frontier(oid, set())
+        if self.reliable_cache is not None and self.reliable_cache.contains(oid):
+            try:
+                value, cost = self.reliable_cache.get(oid)
+            except ObjectLostError:
+                value = None
+            else:
+                entry = self.ownership.entry(oid)
+                head = self._head_node()
+                raylet = self._raylets_by_node[head.node_id][0]
+                store = raylet.store_of(raylet.host_device.device_id)
+                if not store.contains(oid):
+                    store.put(oid, value, entry.nbytes or estimate_nbytes(value))
+                self.ownership.mark_ready(
+                    oid, head.node_id, entry.nbytes, raylet.host_device.device_id
+                )
+                # charge the reconstruction time in virtual time
+                self.sim.schedule(cost, lambda: None)
+                self._on_object_ready(oid)
+                return
+        plan = self.lineage.plan_recovery(oid, self.ownership)
+        self.lineage.replays += len(plan)
+        for spec in plan:
+            old_ids = self.lineage.outputs_of(spec.task_id)
+            for out_oid in old_ids:
+                entry = self.ownership.entry(out_oid)
+                entry.state = ValueState.PENDING
+                entry.locations.clear()
+            ctx = _TaskCtx(spec, ObjectRef(old_ids[0], task_id=spec.task_id), Signal(self.sim))
+            ctx.timeline.submitted = self.sim.now
+            self._ctxs[spec.task_id] = ctx
+            self._ctx_of_object[old_ids[0]] = ctx
+            self._route(ctx)
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def control_messages(self) -> int:
+        return self.net.stats.messages
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.net.stats.bytes_moved
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation (drains everything unless ``until``)."""
+        return self.sim.run(until=until)
+
+    def timeline_of(self, ref: ObjectRef) -> TaskTimeline:
+        ctx = self._ctx_of_object.get(ref.object_id)
+        if ctx is None:
+            raise KeyError(f"no task produced {ref.object_id!r}")
+        return ctx.timeline
+
+
+def make_reliable_cache(cluster: Cluster, redundancy) -> CachingLayer:
+    """A CachingLayer spanning the cluster's nodes, with network-true costs."""
+    node_ids = [n.node_id for n in cluster.nodes.values()]
+
+    def transfer_time(src: str, dst: str, nbytes: int) -> float:
+        if src == dst:
+            return 0.0
+        src_ep = cluster.node(src).dominant_device.device_id
+        dst_ep = cluster.node(dst).dominant_device.device_id
+        return cluster.network.transfer_time_estimate(src_ep, dst_ep, nbytes)
+
+    return CachingLayer(
+        [CacheNode(nid) for nid in node_ids],
+        redundancy=redundancy,
+        transfer_time=transfer_time,
+    )

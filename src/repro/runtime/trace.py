@@ -1,0 +1,52 @@
+"""Export task timelines as Chrome tracing JSON (chrome://tracing).
+
+Every finished task becomes a complete ("X") event: row = device, span =
+[started, finished] in virtual microseconds, with the resolution stall as
+an annotated argument.  Load the output in chrome://tracing or Perfetto to
+see gang lock-steps, pipeline bubbles, and DPU serialization visually.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Union
+
+from .runtime import ServerlessRuntime
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def to_chrome_trace(runtime: ServerlessRuntime) -> List[dict]:
+    """Build the trace-event list from a runtime's recorded timelines."""
+    events: List[dict] = []
+    for tl in runtime.timelines:
+        node_id = tl.device_id.split("/")[0] if "/" in tl.device_id else tl.device_id
+        events.append(
+            {
+                "name": tl.name,
+                "cat": "task",
+                "ph": "X",
+                "ts": tl.started * 1e6,  # chrome tracing wants microseconds
+                "dur": max((tl.finished - tl.started) * 1e6, 0.01),
+                "pid": node_id,
+                "tid": tl.device_id,
+                "args": {
+                    "task_id": tl.task_id,
+                    "submitted_us": tl.submitted * 1e6,
+                    "input_stall_us": tl.input_stall * 1e6,
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(runtime: ServerlessRuntime, path_or_file: Union[str, IO]) -> int:
+    """Write the trace; returns the number of events."""
+    events = to_chrome_trace(runtime)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            json.dump(payload, fh)
+    else:
+        json.dump(payload, path_or_file)
+    return len(events)

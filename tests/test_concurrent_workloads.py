@@ -1,0 +1,97 @@
+"""Integration tests: several data systems sharing one runtime.
+
+The paper's whole point is that one runtime hosts many systems at once
+("data systems integration").  These tests interleave SQL, MapReduce,
+streaming, and ML work on a single Skadi/ServerlessRuntime instance and
+check that results stay correct and isolated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RecordBatch, Skadi, col, lit
+from repro.bench.workloads import customers_table, orders_table
+from repro.cluster import build_physical_disagg
+from repro.frontends import (
+    MapReduceJob,
+    ParameterServer,
+    StreamJob,
+    WindowAggregate,
+    make_regression,
+    micro_batches,
+)
+from repro.frontends.sql import sql_to_ir
+from repro.ir import FrameType, run_function
+from repro.runtime import ServerlessRuntime
+
+
+class TestSharedRuntime:
+    def test_two_sql_queries_back_to_back(self, orders, customers, catalog):
+        skadi = Skadi(shards=3)
+        q1 = "SELECT COUNT(*) AS n FROM orders WHERE amount > 50"
+        q2 = (
+            "SELECT region, SUM(amount) AS total FROM orders "
+            "JOIN customers ON cust = cid GROUP BY region ORDER BY region"
+        )
+        tables = {"orders": orders, "customers": customers}
+        out1 = skadi.sql(q1, tables)
+        out2 = skadi.sql(q2, tables)
+        (want1,) = run_function(sql_to_ir(q1, catalog), tables=tables)
+        (want2,) = run_function(sql_to_ir(q2, catalog), tables=tables)
+        assert out1.column("n").tolist() == want1.column("n").tolist()
+        np.testing.assert_allclose(out2.column("total"), want2.column("total"))
+
+    def test_sql_and_tasks_interleaved(self, orders):
+        skadi = Skadi(shards=2)
+        refs = [skadi.submit(lambda i=i: i * i, name=f"side{i}") for i in range(5)]
+        out = skadi.sql("SELECT COUNT(*) AS n FROM orders", {"orders": orders})
+        assert out.column("n").tolist() == [orders.num_rows]
+        assert skadi.get(refs) == [0, 1, 4, 9, 16]
+
+    def test_mapreduce_and_ml_share_a_runtime(self, rng):
+        rt = ServerlessRuntime(build_physical_disagg())
+        table = RecordBatch.from_arrays(
+            {"k": rng.integers(0, 4, 200), "x": rng.random(200)}
+        )
+        job = MapReduceJob(
+            mapper=lambda b: b,
+            reducer=lambda k, g: {"k": k, "total": float(g.column("x").sum())},
+            key="k",
+        )
+        mr_out = job.run(rt, table)
+
+        X, y, w_true = make_regression(200, 4, seed=9)
+        ps = ParameterServer(rt, 4, lr=0.05)
+        weights = ps.train(X, y, rounds=20, workers=3)
+
+        # both systems got correct answers off the same runtime
+        local = job.run_local(table)
+        got = dict(zip(mr_out.column("k").tolist(), mr_out.column("total").tolist()))
+        want = dict(zip(local.column("k").tolist(), local.column("total").tolist()))
+        assert set(got) == set(want)
+        assert np.abs(weights - w_true).max() < 0.2
+
+    def test_stream_and_batch_coexist(self, rng):
+        rt = ServerlessRuntime(build_physical_disagg())
+        table = RecordBatch.from_arrays(
+            {"k": rng.integers(0, 3, 160), "x": rng.random(160)}
+        )
+        stream_job = StreamJob(
+            [WindowAggregate(keys=("k",), aggs=(("s", "sum", "x"),), window=4)]
+        )
+        stream_out = stream_job.run(rt, micro_batches(table, 20))
+        batch_ref = rt.submit(lambda: 123, name="batch_side_job")
+        assert rt.get(batch_ref) == 123
+        local = stream_job.run_local(micro_batches(table, 20))
+        for d, l in zip(stream_out, local):
+            assert d == l
+
+    def test_runtime_stats_accumulate_across_jobs(self, orders):
+        skadi = Skadi(shards=2)
+        skadi.sql("SELECT COUNT(*) AS n FROM orders", {"orders": orders})
+        first_tasks = skadi.runtime.tasks_finished
+        skadi.sql("SELECT COUNT(*) AS n FROM orders", {"orders": orders})
+        assert skadi.runtime.tasks_finished > first_tasks
+        assert skadi.sim_now > 0

@@ -1,0 +1,122 @@
+"""Tests for device models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hardware import (
+    CPU_SERVER_SPEC,
+    DPU_SPEC,
+    FPGA_SPEC,
+    GB,
+    GPU_SPEC,
+    MEMORY_BLADE_SPEC,
+    Device,
+    DeviceKind,
+    DeviceSpec,
+)
+from repro.cluster.simtime import Simulator
+
+
+class TestDeviceSpec:
+    def test_scaled_duration_divides_by_compute_scale(self):
+        assert GPU_SPEC.scaled_duration(4.0) == pytest.approx(4.0 / 40.0)
+        assert CPU_SERVER_SPEC.scaled_duration(4.0) == pytest.approx(4.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CPU_SERVER_SPEC.scaled_duration(-1.0)
+
+    def test_with_overrides_returns_new_spec(self):
+        fat = CPU_SERVER_SPEC.with_overrides(memory_bytes=128 * GB)
+        assert fat.memory_bytes == 128 * GB
+        assert CPU_SERVER_SPEC.memory_bytes == 64 * GB
+        assert fat.kind == DeviceKind.CPU
+
+    def test_accelerator_classification(self):
+        assert DeviceKind.GPU.is_accelerator
+        assert DeviceKind.FPGA.is_accelerator
+        assert not DeviceKind.CPU.is_accelerator
+        assert not DeviceKind.DPU.is_accelerator
+
+    def test_catalog_relative_speeds(self):
+        # the paper's premise: accelerators beat CPUs, DPUs are weak cores
+        assert GPU_SPEC.compute_scale > FPGA_SPEC.compute_scale > 1.0
+        assert DPU_SPEC.compute_scale < 1.0
+        assert MEMORY_BLADE_SPEC.memory_bytes > CPU_SERVER_SPEC.memory_bytes
+
+
+class TestDeviceMemory:
+    def test_reserve_and_free(self, sim):
+        dev = Device(sim, FPGA_SPEC, node_id="n0")
+        assert dev.reserve_memory(1 * GB)
+        assert dev.memory_used == 1 * GB
+        dev.free_memory(1 * GB)
+        assert dev.memory_used == 0
+
+    def test_reserve_beyond_capacity_fails(self, sim):
+        dev = Device(sim, FPGA_SPEC, node_id="n0")
+        assert not dev.reserve_memory(FPGA_SPEC.memory_bytes + 1)
+        assert dev.memory_used == 0
+
+    def test_free_more_than_reserved_raises(self, sim):
+        dev = Device(sim, FPGA_SPEC, node_id="n0")
+        dev.reserve_memory(100)
+        with pytest.raises(ValueError):
+            dev.free_memory(200)
+
+    def test_negative_amounts_rejected(self, sim):
+        dev = Device(sim, FPGA_SPEC, node_id="n0")
+        with pytest.raises(ValueError):
+            dev.reserve_memory(-1)
+        with pytest.raises(ValueError):
+            dev.free_memory(-1)
+
+
+class TestDeviceExecution:
+    def test_execute_charges_overhead_plus_scaled_time(self, sim):
+        dev = Device(sim, GPU_SPEC, node_id="n0")
+        p = dev.execute(0.4)  # 0.4 cpu-sec -> 10 ms on a 40x GPU
+        sim.run()
+        expected = GPU_SPEC.dispatch_overhead + 0.4 / 40.0
+        assert p.value == pytest.approx(expected)
+        assert sim.now == pytest.approx(expected)
+
+    def test_slots_limit_concurrency(self, sim):
+        spec = FPGA_SPEC.with_overrides(slots=1, dispatch_overhead=0.0)
+        dev = Device(sim, spec, node_id="n0")
+        dev.execute(12.0)  # 1 sec on 12x fpga
+        dev.execute(12.0)
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_parallel_slots_overlap(self, sim):
+        spec = FPGA_SPEC.with_overrides(slots=2, dispatch_overhead=0.0)
+        dev = Device(sim, spec, node_id="n0")
+        dev.execute(12.0)
+        dev.execute(12.0)
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_device_ids_unique(self, sim):
+        a = Device(sim, GPU_SPEC, node_id="n0")
+        b = Device(sim, GPU_SPEC, node_id="n0")
+        assert a.device_id != b.device_id
+
+    def test_busy_seconds_accumulate(self, sim):
+        spec = FPGA_SPEC.with_overrides(slots=2, dispatch_overhead=0.0)
+        dev = Device(sim, spec, node_id="n0")
+        dev.execute(12.0)  # 1 virtual second each on a 12x device
+        dev.execute(12.0)
+        sim.run()
+        assert dev.busy_seconds == pytest.approx(2.0)
+        # both ran in parallel over a 1s horizon on 2 slots: fully busy
+        assert dev.utilization(sim.now) == pytest.approx(1.0)
+
+    def test_utilization_of_idle_horizon(self, sim):
+        dev = Device(sim, FPGA_SPEC.with_overrides(dispatch_overhead=0.0), node_id="n0")
+        dev.execute(12.0)
+        sim.run()
+        # 1 busy slot-second over a 10-second horizon with 2 slots
+        assert dev.utilization(10.0) == pytest.approx(1.0 / 20.0)
+        assert dev.utilization(0.0) == 0.0

@@ -1,0 +1,166 @@
+"""Edge-case tests for the IR interpreter and kernel dispatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.caching.columnar import RecordBatch
+from repro.ir import (
+    Builder,
+    FrameType,
+    FusedStep,
+    Interpreter,
+    TensorType,
+    col,
+    lit,
+    run_function,
+)
+from repro.ir.interpreter import execute_op
+from repro.ir.core import Operation
+
+
+def frame():
+    return FrameType((("k", "int64"), ("x", "float64")))
+
+
+class TestInterpreter:
+    def test_missing_input_raises(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2, 2)))
+        func = b.ret(b.emit("linalg", "relu", [x]).result())
+        with pytest.raises(KeyError, match="missing input"):
+            run_function(func, {})
+
+    def test_multiple_returns(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2, 2)))
+        a = b.emit("linalg", "relu", [x])
+        c = b.emit("linalg", "neg", [x])
+        func = b.function
+        func.returns = [a.result(), c.result()]
+        xv = np.array([[1.0, -1.0], [2.0, -2.0]])
+        out = run_function(func, {"x": xv})
+        assert len(out) == 2
+        np.testing.assert_allclose(out[0], np.maximum(xv, 0))
+        np.testing.assert_allclose(out[1], -xv)
+
+    def test_param_passthrough_return(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2,)))
+        func = b.ret(x)
+        (out,) = run_function(func, {"x": np.array([1.0, 2.0])})
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_tables_shared_across_scans(self, small_batch):
+        b = Builder("f")
+        s1 = b.emit("relational", "scan", (), {"table": "t", "schema": frame()})
+        s2 = b.emit("relational", "scan", (), {"table": "t", "schema": frame()})
+        j = b.emit(
+            "relational", "join", [s1.result(), s2.result()],
+            {"left_on": "k", "right_on": "k"},
+        )
+        func = b.ret(j.result())
+        interp = Interpreter({"t": small_batch})
+        (out,) = interp.run(func)
+        # self-join row count: sum over keys of count^2
+        import collections
+
+        counts = collections.Counter(small_batch.column("k").tolist())
+        assert out.num_rows == sum(c * c for c in counts.values())
+
+
+class TestExecuteOp:
+    def test_unknown_kernel_rejected(self):
+        op = Operation("kernel", "call", [], {"kernel": "ghost.op", "result_type": frame()})
+        op.results = []
+        with pytest.raises(KeyError, match="ghost.op"):
+            execute_op(op, [])
+
+    def test_fused_step_refs_resolve(self, rng):
+        steps = (
+            FusedStep("linalg", "relu", (0,)),
+            FusedStep("linalg", "neg", (-1,)),
+            FusedStep("linalg", "add", (-2, -1)),  # relu(x) + neg(relu(x))
+        )
+        op = Operation(
+            "kernel", "fused", [], {"steps": steps, "result_type": TensorType((3,))}
+        )
+        op.results = []
+        x = rng.standard_normal(3)
+        out = execute_op(op, [x])
+        np.testing.assert_allclose(out, np.zeros(3))  # r + (-r) == 0
+
+    def test_unknown_fused_step_kernel(self):
+        steps = (FusedStep("nope", "op", (0,)),)
+        op = Operation(
+            "kernel", "fused", [], {"steps": steps, "result_type": TensorType((1,))}
+        )
+        op.results = []
+        with pytest.raises(KeyError, match="no kernel"):
+            execute_op(op, [np.zeros(1)])
+
+
+class TestFrameKernelEdges:
+    def test_filter_empty_result_keeps_schema(self, small_batch):
+        b = Builder("f")
+        s = b.emit("relational", "scan", (), {"table": "t", "schema": frame()})
+        f = b.emit("relational", "filter", [s.result()], {"pred": col("x") > lit(1e9)})
+        func = b.ret(f.result())
+        (out,) = run_function(func, tables={"t": small_batch})
+        assert out.num_rows == 0
+        assert out.schema == small_batch.schema
+
+    def test_join_with_no_matches(self, small_batch):
+        right = RecordBatch.from_pydict({"k2": [99], "y": [1.0]})
+        b = Builder("f")
+        s = b.emit("relational", "scan", (), {"table": "t", "schema": frame()})
+        r = b.emit(
+            "relational", "scan", (),
+            {"table": "u", "schema": FrameType((("k2", "int64"), ("y", "float64")))},
+        )
+        j = b.emit(
+            "relational", "join", [s.result(), r.result()],
+            {"left_on": "k", "right_on": "k2"},
+        )
+        func = b.ret(j.result())
+        (out,) = run_function(func, tables={"t": small_batch, "u": right})
+        assert out.num_rows == 0
+        assert out.schema.names == ["k", "x", "y"]
+
+    def test_aggregate_empty_group_by_empty_input(self):
+        empty = RecordBatch.from_arrays(
+            {"k": np.array([], dtype=np.int64), "x": np.array([], dtype=np.float64)}
+        )
+        b = Builder("f")
+        s = b.emit("relational", "scan", (), {"table": "t", "schema": frame()})
+        a = b.emit(
+            "relational", "aggregate", [s.result()],
+            {"keys": ("k",), "aggs": (("s", "sum", "x"),)},
+        )
+        func = b.ret(a.result())
+        (out,) = run_function(func, tables={"t": empty})
+        assert out.num_rows == 0
+
+    def test_global_count_of_empty_is_zero(self):
+        empty = RecordBatch.from_arrays(
+            {"k": np.array([], dtype=np.int64), "x": np.array([], dtype=np.float64)}
+        )
+        b = Builder("f")
+        s = b.emit("relational", "scan", (), {"table": "t", "schema": frame()})
+        a = b.emit(
+            "relational", "aggregate", [s.result()],
+            {"keys": (), "aggs": (("n", "count", "x"), ("s", "sum", "x"))},
+        )
+        func = b.ret(a.result())
+        (out,) = run_function(func, tables={"t": empty})
+        assert out.column("n").tolist() == [0]
+        assert out.column("s").tolist() == [0.0]
+
+    def test_limit_beyond_length(self, small_batch):
+        b = Builder("f")
+        s = b.emit("relational", "scan", (), {"table": "t", "schema": frame()})
+        l = b.emit("relational", "limit", [s.result()], {"n": 999})
+        func = b.ret(l.result())
+        (out,) = run_function(func, tables={"t": small_batch})
+        assert out.num_rows == small_batch.num_rows

@@ -1,0 +1,270 @@
+"""Tests for dialect type inference rules and kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.caching.columnar import RecordBatch
+from repro.ir import Builder, FrameType, TensorType, col, lit, run_function
+from repro.ir.kernels import HANDCRAFTED, hash_partition, register_handcrafted
+
+
+def frame():
+    return FrameType((("k", "int64"), ("x", "float64")))
+
+
+def scan(b, schema=None, table="t"):
+    return b.emit("relational", "scan", (), {"table": table, "schema": schema or frame()})
+
+
+class TestRelationalInference:
+    def test_filter_keeps_schema(self):
+        b = Builder("f")
+        s = scan(b)
+        f = b.emit("relational", "filter", [s.result()], {"pred": col("x") > lit(0)})
+        assert f.result().type.names == ("k", "x")
+        assert f.result().type.num_rows is None
+
+    def test_filter_unknown_column_rejected(self):
+        b = Builder("f")
+        s = scan(b)
+        with pytest.raises(KeyError, match="unknown column"):
+            b.emit("relational", "filter", [s.result()], {"pred": col("zzz") > lit(0)})
+
+    def test_project_derives_types(self):
+        b = Builder("f")
+        s = scan(b)
+        p = b.emit(
+            "relational",
+            "project",
+            [s.result()],
+            {"columns": ("k",), "derived": (("y", col("x") * 2, "float64"),)},
+        )
+        assert p.result().type.columns == (("k", "int64"), ("y", "float64"))
+
+    def test_project_empty_rejected(self):
+        b = Builder("f")
+        s = scan(b)
+        with pytest.raises(ValueError, match="no columns"):
+            b.emit("relational", "project", [s.result()], {"columns": ()})
+
+    def test_join_renames_collisions(self):
+        b = Builder("f")
+        left = scan(b)
+        right = scan(b, FrameType((("k2", "int64"), ("x", "float64"))), "u")
+        j = b.emit(
+            "relational",
+            "join",
+            [left.result(), right.result()],
+            {"left_on": "k", "right_on": "k2"},
+        )
+        assert j.result().type.names == ("k", "x", "r_x")
+
+    def test_join_missing_key_rejected(self):
+        b = Builder("f")
+        left, right = scan(b), scan(b, table="u")
+        with pytest.raises(KeyError):
+            b.emit(
+                "relational",
+                "join",
+                [left.result(), right.result()],
+                {"left_on": "nope", "right_on": "k"},
+            )
+
+    def test_aggregate_output_types(self):
+        b = Builder("f")
+        s = scan(b)
+        a = b.emit(
+            "relational",
+            "aggregate",
+            [s.result()],
+            {
+                "keys": ("k",),
+                "aggs": (("s", "sum", "x"), ("n", "count", "x"), ("m", "mean", "x")),
+            },
+        )
+        assert a.result().type.columns == (
+            ("k", "int64"),
+            ("s", "float64"),
+            ("n", "int64"),
+            ("m", "float64"),
+        )
+
+    def test_aggregate_unknown_fn_rejected(self):
+        b = Builder("f")
+        s = scan(b)
+        with pytest.raises(ValueError, match="unknown agg"):
+            b.emit(
+                "relational",
+                "aggregate",
+                [s.result()],
+                {"keys": (), "aggs": (("x", "median", "x"),)},
+            )
+
+    def test_limit_validation(self):
+        b = Builder("f")
+        s = scan(b)
+        with pytest.raises(ValueError):
+            b.emit("relational", "limit", [s.result()], {"n": -1})
+
+
+class TestLinalgInference:
+    def test_matmul_shapes(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((4, 8)))
+        y = b.add_param("y", TensorType((8, 3)))
+        mm = b.emit("linalg", "matmul", [x, y])
+        assert mm.result().type == TensorType((4, 3))
+
+    def test_matmul_mismatch_rejected(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((4, 8)))
+        y = b.add_param("y", TensorType((9, 3)))
+        with pytest.raises(TypeError, match="inner dims"):
+            b.emit("linalg", "matmul", [x, y])
+
+    def test_broadcast_rules(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((4, 8)))
+        y = b.add_param("y", TensorType((1, 8)))
+        add = b.emit("linalg", "add", [x, y])
+        assert add.result().type == TensorType((4, 8))
+
+    def test_broadcast_dynamic_dim(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((None, 8)))
+        y = b.add_param("y", TensorType((4, 8)))
+        add = b.emit("linalg", "add", [x, y])
+        assert add.result().type.shape == (None, 8)
+
+    def test_incompatible_broadcast_rejected(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((4, 8)))
+        y = b.add_param("y", TensorType((4, 7)))
+        with pytest.raises(TypeError, match="broadcast"):
+            b.emit("linalg", "add", [x, y])
+
+    def test_reduce_axis(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((4, 8)))
+        r = b.emit("linalg", "reduce_sum", [x], {"axis": 1})
+        assert r.result().type == TensorType((4,))
+        full = b.emit("linalg", "reduce_sum", [x])
+        assert full.result().type == TensorType(())
+        with pytest.raises(ValueError):
+            b.emit("linalg", "reduce_sum", [x], {"axis": 5})
+
+    def test_frame_to_tensor(self):
+        b = Builder("f")
+        s = scan(b)
+        t = b.emit("linalg", "frame_to_tensor", [s.result()], {"columns": ("x",)})
+        assert t.result().type.shape == (None, 1)
+
+
+class TestKernelExecution:
+    def test_sort_and_limit(self):
+        b = Builder("f")
+        s = scan(b)
+        srt = b.emit("relational", "sort", [s.result()], {"by": ("x",), "ascending": False})
+        lim = b.emit("relational", "limit", [srt.result()], {"n": 2})
+        func = b.ret(lim.result())
+        t = RecordBatch.from_pydict({"k": [1, 2, 3], "x": [5.0, 1.0, 9.0]})
+        (out,) = run_function(func, tables={"t": t})
+        assert out.column("x").tolist() == [9.0, 5.0]
+
+    def test_global_aggregate(self):
+        b = Builder("f")
+        s = scan(b)
+        agg = b.emit(
+            "relational",
+            "aggregate",
+            [s.result()],
+            {"keys": (), "aggs": (("total", "sum", "x"), ("n", "count", "x"))},
+        )
+        func = b.ret(agg.result())
+        t = RecordBatch.from_pydict({"k": [1, 1], "x": [2.0, 3.0]})
+        (out,) = run_function(func, tables={"t": t})
+        assert out.column("total").tolist() == [5.0]
+        assert out.column("n").tolist() == [2]
+
+    def test_min_max_mean_aggregates(self):
+        b = Builder("f")
+        s = scan(b)
+        agg = b.emit(
+            "relational",
+            "aggregate",
+            [s.result()],
+            {
+                "keys": ("k",),
+                "aggs": (("lo", "min", "x"), ("hi", "max", "x"), ("avg", "mean", "x")),
+            },
+        )
+        func = b.ret(agg.result())
+        t = RecordBatch.from_pydict({"k": [0, 0, 1], "x": [1.0, 3.0, 7.0]})
+        (out,) = run_function(func, tables={"t": t})
+        assert out.column("lo").tolist() == [1.0, 7.0]
+        assert out.column("hi").tolist() == [3.0, 7.0]
+        assert out.column("avg").tolist() == [2.0, 7.0]
+
+    def test_scan_missing_table(self):
+        b = Builder("f")
+        s = scan(b)
+        func = b.ret(s.result())
+        with pytest.raises(KeyError, match="unknown table"):
+            run_function(func, tables={})
+
+
+class TestHandcrafted:
+    def test_top_k(self):
+        t = RecordBatch.from_pydict({"k": [1, 2, 3], "x": [5.0, 9.0, 1.0]})
+        out = HANDCRAFTED["misc.top_k"](t, "x", 2)
+        assert out.column("x").tolist() == [9.0, 5.0]
+
+    def test_distinct(self):
+        t = RecordBatch.from_pydict({"k": [3, 1, 3, 2]})
+        assert HANDCRAFTED["misc.distinct"](t, "k").tolist() == [1, 2, 3]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_handcrafted("misc.top_k")(lambda: None)
+
+    def test_kernel_call_in_ir(self):
+        b = Builder("f")
+        s = scan(b)
+        call = b.emit(
+            "kernel",
+            "call",
+            [s.result()],
+            {
+                "kernel": "misc.top_k",
+                "kwargs": {"column": "x", "k": 1},
+                "result_type": frame(),
+            },
+        )
+        func = b.ret(call.result())
+        t = RecordBatch.from_pydict({"k": [1, 2], "x": [5.0, 9.0]})
+        (out,) = run_function(func, tables={"t": t})
+        assert out.column("x").tolist() == [9.0]
+
+
+class TestHashPartition:
+    def test_partitions_are_disjoint_and_complete(self, rng):
+        t = RecordBatch.from_arrays({"k": rng.integers(0, 100, 1000), "x": rng.random(1000)})
+        parts = hash_partition(t, "k", 4)
+        assert sum(p.num_rows for p in parts) == 1000
+        # equal keys land in the same partition
+        for p in parts:
+            keys_here = set(p.column("k").tolist())
+            for q in parts:
+                if p is q:
+                    continue
+                assert keys_here.isdisjoint(set(q.column("k").tolist()))
+
+    def test_single_partition_is_identity(self, small_batch):
+        (only,) = hash_partition(small_batch, "k", 1)
+        assert only == small_batch
+
+    def test_invalid_partition_count(self, small_batch):
+        with pytest.raises(ValueError):
+            hash_partition(small_batch, "k", 0)

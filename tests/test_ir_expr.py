@@ -1,0 +1,105 @@
+"""Tests for scalar expression trees (with property-based checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import BinOp, Col, FuncCall, Lit, UnaryOp, col, lit
+
+
+class TestEvaluation:
+    def test_column_lookup(self):
+        env = {"x": np.array([1.0, 2.0])}
+        assert col("x").evaluate(env).tolist() == [1.0, 2.0]
+        with pytest.raises(KeyError, match="not bound"):
+            col("y").evaluate(env)
+
+    def test_arithmetic(self):
+        env = {"x": np.array([1.0, 2.0, 3.0])}
+        expr = (col("x") * lit(2) + lit(1)) / lit(2)
+        np.testing.assert_allclose(expr.evaluate(env), [1.5, 2.5, 3.5])
+
+    def test_comparison_and_logic(self):
+        env = {"x": np.array([1, 5, 10])}
+        expr = (col("x") > lit(2)) & (col("x") < lit(8))
+        assert expr.evaluate(env).tolist() == [False, True, False]
+        assert (~(col("x") == lit(5))).evaluate(env).tolist() == [True, False, True]
+        assert ((col("x") < 2) | (col("x") > 8)).evaluate(env).tolist() == [
+            True,
+            False,
+            True,
+        ]
+
+    def test_unary_and_funcs(self):
+        env = {"x": np.array([4.0, 9.0])}
+        assert (-col("x")).evaluate(env).tolist() == [-4.0, -9.0]
+        np.testing.assert_allclose(
+            FuncCall("sqrt", (col("x"),)).evaluate(env), [2.0, 3.0]
+        )
+
+    def test_scalar_auto_wrapping(self):
+        env = {"x": np.array([1.0])}
+        assert (col("x") + 1).evaluate(env).tolist() == [2.0]
+        assert (col("x") % 2).evaluate(env).tolist() == [1.0]
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", lit(1), lit(2))
+        with pytest.raises(ValueError):
+            UnaryOp("!", lit(1))
+        with pytest.raises(ValueError):
+            FuncCall("tan", (lit(1),))
+
+
+class TestIntrospection:
+    def test_referenced_columns(self):
+        expr = (col("a") + col("b")) * col("a")
+        assert sorted(set(expr.referenced_columns())) == ["a", "b"]
+        assert lit(5).referenced_columns() == []
+
+    def test_repr_is_stable(self):
+        expr = (col("x") > lit(3)) & (col("y") == lit(1))
+        assert repr(expr) == "((col(x) > 3) and (col(y) == 1))"
+
+
+@st.composite
+def arith_expr(draw, depth=0):
+    """Random arithmetic expression over columns a, b."""
+    if depth > 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return col(draw(st.sampled_from(["a", "b"])))
+        return lit(draw(st.integers(-5, 5)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return BinOp(op, draw(arith_expr(depth + 1)), draw(arith_expr(depth + 1)))
+
+
+class TestProperties:
+    @given(expr=arith_expr(), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_matches_rowwise(self, expr, seed):
+        """Evaluating on arrays == evaluating per row (vectorization law)."""
+        rng = np.random.default_rng(seed)
+        env = {
+            "a": rng.integers(-10, 10, 20),
+            "b": rng.integers(-10, 10, 20),
+        }
+        vectorized = np.asarray(expr.evaluate(env))
+        rowwise = np.asarray(
+            [
+                expr.evaluate({"a": env["a"][i], "b": env["b"][i]})
+                for i in range(20)
+            ]
+        )
+        np.testing.assert_array_equal(
+            np.broadcast_to(vectorized, rowwise.shape), rowwise
+        )
+
+    @given(expr=arith_expr())
+    @settings(max_examples=30, deadline=None)
+    def test_referenced_columns_sufficient(self, expr):
+        """Evaluation succeeds with exactly the referenced columns bound."""
+        env = {name: np.arange(4) for name in set(expr.referenced_columns())}
+        expr.evaluate(env)  # must not raise

@@ -1,0 +1,226 @@
+"""Tests for optimization passes: DCE, CSE, cross-domain fusion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching.columnar import RecordBatch
+from repro.ir import (
+    Builder,
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    FrameType,
+    FuseElementwise,
+    PassManager,
+    PassStats,
+    TensorType,
+    col,
+    lit,
+    run_function,
+)
+from repro.ir.passes import ConstantFold
+
+
+def tensor_chain(num_elementwise=3):
+    b = Builder("chain")
+    x = b.add_param("x", TensorType((4, 4)))
+    cur = x
+    for i in range(num_elementwise):
+        op = b.emit("linalg", "relu" if i % 2 == 0 else "sigmoid", [cur])
+        cur = op.result()
+    return b.ret(cur), x
+
+
+class TestDCE:
+    def test_removes_unused_ops(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2, 2)))
+        used = b.emit("linalg", "relu", [x])
+        b.emit("linalg", "sigmoid", [x])  # dead
+        func = b.ret(used.result())
+        stats = PassStats()
+        assert DeadCodeElimination().run(func, stats)
+        assert stats.ops_removed == 1
+        assert [op.qualified for op in func.ops] == ["linalg.relu"]
+
+    def test_keeps_transitive_dependencies(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2, 2)))
+        a = b.emit("linalg", "relu", [x])
+        c = b.emit("linalg", "sigmoid", [a.result()])
+        func = b.ret(c.result())
+        assert not DeadCodeElimination().run(func, PassStats())
+        assert len(func.ops) == 2
+
+
+class TestCSE:
+    def test_merges_identical_ops(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2, 2)))
+        a = b.emit("linalg", "relu", [x])
+        bb = b.emit("linalg", "relu", [x])  # identical
+        c = b.emit("linalg", "add", [a.result(), bb.result()])
+        func = b.ret(c.result())
+        stats = PassStats()
+        assert CommonSubexpressionElimination().run(func, stats)
+        assert stats.ops_removed == 1
+        add = func.ops[-1]
+        assert add.operands[0] is add.operands[1]
+
+    def test_different_attrs_not_merged(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((4, 4)))
+        a = b.emit("linalg", "reduce_sum", [x], {"axis": 0})
+        bb = b.emit("linalg", "reduce_sum", [x], {"axis": 1})
+        # keep both alive through separate reconsumption
+        a2 = b.emit("linalg", "relu", [a.result()])
+        b2 = b.emit("linalg", "relu", [bb.result()])
+        func = b.function
+        func.returns = [a2.result(), b2.result()]
+        assert not CommonSubexpressionElimination().run(func, PassStats())
+
+
+class TestConstantFold:
+    def test_folds_constant_arithmetic(self):
+        b = Builder("f")
+        c1 = b.emit("linalg", "constant", (), {"value": np.full((2, 2), 3.0)})
+        c2 = b.emit("linalg", "constant", (), {"value": np.full((2, 2), 4.0)})
+        added = b.emit("linalg", "add", [c1.result(), c2.result()])
+        x = b.add_param("x", TensorType((2, 2)))
+        out = b.emit("linalg", "mul", [added.result(), x])
+        func = b.ret(out.result())
+        stats = PassStats()
+        assert ConstantFold().run(func, stats)
+        # the add collapsed into a constant
+        kinds = [op.qualified for op in func.ops]
+        assert kinds.count("linalg.add") == 0
+        (value,) = run_function(func, {"x": np.ones((2, 2))})
+        np.testing.assert_allclose(value, np.full((2, 2), 7.0))
+
+    def test_folding_cascades_through_pass_manager(self):
+        b = Builder("f")
+        c = b.emit("linalg", "constant", (), {"value": np.full((2, 2), 2.0)})
+        squared = b.emit("linalg", "mul", [c.result(), c.result()])
+        again = b.emit("linalg", "exp", [squared.result()])
+        func = b.ret(again.result())
+        PassManager().run(func)
+        assert [op.qualified for op in func.ops] == ["linalg.constant"]
+        (value,) = run_function(func, {})
+        np.testing.assert_allclose(value, np.exp(4.0))
+
+    def test_param_dependent_ops_untouched(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2, 2)))
+        out = b.emit("linalg", "relu", [x])
+        func = b.ret(out.result())
+        assert not ConstantFold().run(func, PassStats())
+
+
+class TestFusion:
+    def test_chain_fuses_to_single_kernel(self):
+        func, _ = tensor_chain(4)
+        func.verify()
+        stats = PassManager().run(func)
+        assert stats.ops_fused == 3
+        assert [op.qualified for op in func.ops] == ["kernel.fused"]
+        assert len(func.ops[0].attrs["steps"]) == 4
+
+    def test_fusion_preserves_semantics(self, rng):
+        func, _ = tensor_chain(5)
+        x = rng.standard_normal((4, 4))
+        (before,) = run_function(func, {"x": x})
+        PassManager().run(func)
+        (after,) = run_function(func, {"x": x})
+        np.testing.assert_allclose(before, after)
+
+    def test_diamond_fuses_with_shared_step(self, rng):
+        """A diamond (relu feeding sigmoid+exp feeding add) fuses completely:
+        operand dedup turns the shared producer into one step referenced by
+        two later steps — computed once, not duplicated."""
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2, 2)))
+        shared = b.emit("linalg", "relu", [x])
+        u1 = b.emit("linalg", "sigmoid", [shared.result()])
+        u2 = b.emit("linalg", "exp", [shared.result()])
+        add = b.emit("linalg", "add", [u1.result(), u2.result()])
+        func = b.ret(add.result())
+        xv = rng.standard_normal((2, 2))
+        (before,) = run_function(func, {"x": xv})
+        PassManager().run(func)
+        assert [op.qualified for op in func.ops] == ["kernel.fused"]
+        steps = func.ops[0].attrs["steps"]
+        assert sum(s.name == "relu" for s in steps) == 1  # computed once
+        (after,) = run_function(func, {"x": xv})
+        np.testing.assert_allclose(before, after)
+
+    def test_returned_intermediate_blocks_fusion(self):
+        """A producer whose value is also returned must stay materialized."""
+        b = Builder("f")
+        x = b.add_param("x", TensorType((2, 2)))
+        mid = b.emit("linalg", "relu", [x])
+        out = b.emit("linalg", "sigmoid", [mid.result()])
+        func = b.function
+        func.returns = [mid.result(), out.result()]
+        PassManager().run(func)
+        assert any(op.qualified == "linalg.relu" for op in func.ops)
+        assert len(func.ops) == 2
+
+    def test_non_elementwise_blocks_fusion(self):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((4, 4)))
+        r = b.emit("linalg", "relu", [x])
+        mm = b.emit("linalg", "matmul", [r.result(), r.result()])
+        func = b.ret(mm.result())
+        PassManager().run(func)
+        assert any(op.qualified == "linalg.matmul" for op in func.ops)
+
+    def test_cross_domain_fusion_df_ops(self):
+        """§2.2's claim: fusion works across domains because ops share one IR
+        — here two df (SQL-derived) elementwise ops fuse into one kernel."""
+        schema = FrameType((("k", "int64"), ("x", "float64")))
+        b = Builder("q")
+        src = b.emit("df", "source", (), {"table": "t", "schema": schema})
+        where = b.emit("df", "where", [src.result()], {"pred": col("x") > lit(0.5)})
+        select = b.emit(
+            "df",
+            "select",
+            [where.result()],
+            {"columns": ("k",), "derived": (("y", col("x") * 2, "float64"),)},
+        )
+        func = b.ret(select.result())
+        t = RecordBatch.from_pydict({"k": [1, 2, 3], "x": [0.1, 0.7, 0.9]})
+        (before,) = run_function(func, tables={"t": t})
+        stats = PassManager().run(func)
+        assert stats.ops_fused >= 1
+        assert any(op.qualified == "kernel.fused" for op in func.ops)
+        (after,) = run_function(func, tables={"t": t})
+        assert before == after
+
+    def test_binary_elementwise_fusion_with_extra_operand(self, rng):
+        b = Builder("f")
+        x = b.add_param("x", TensorType((4, 4)))
+        y = b.add_param("y", TensorType((4, 4)))
+        r = b.emit("linalg", "relu", [x])
+        add = b.emit("linalg", "add", [r.result(), y])
+        func = b.ret(add.result())
+        xv, yv = rng.standard_normal((4, 4)), rng.standard_normal((4, 4))
+        (before,) = run_function(func, {"x": xv, "y": yv})
+        PassManager().run(func)
+        assert [op.qualified for op in func.ops] == ["kernel.fused"]
+        (after,) = run_function(func, {"x": xv, "y": yv})
+        np.testing.assert_allclose(before, after)
+
+    @given(n=st.integers(1, 8), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_fusion_equivalence_property(self, n, seed):
+        func, _ = tensor_chain(n)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((4, 4))
+        (before,) = run_function(func, {"x": x})
+        PassManager().run(func)
+        (after,) = run_function(func, {"x": x})
+        np.testing.assert_allclose(before, after)
+        assert len(func.ops) == 1  # any pure elementwise chain fuses fully

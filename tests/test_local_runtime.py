@@ -1,0 +1,168 @@
+"""Tests for the threaded LocalRuntime backend."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import TaskError
+from repro.runtime.local import LocalRuntime
+
+
+@pytest.fixture
+def rt():
+    runtime = LocalRuntime(max_workers=4)
+    yield runtime
+    runtime.shutdown()
+
+
+class TestTasks:
+    def test_simple_chain(self, rt):
+        a = rt.put(5)
+        b = rt.submit(lambda x: x * 2, (a,))
+        c = rt.submit(lambda x: x + 1, (b,))
+        assert rt.get(c) == 11
+
+    def test_fanout_fanin(self, rt):
+        parts = [rt.submit(lambda i=i: i * i) for i in range(8)]
+        total = rt.submit(lambda *vs: sum(vs), tuple(parts))
+        assert rt.get(total) == sum(i * i for i in range(8))
+
+    def test_get_list(self, rt):
+        refs = [rt.submit(lambda i=i: i) for i in range(5)]
+        assert rt.get(refs) == [0, 1, 2, 3, 4]
+
+    def test_kwargs_with_refs(self, rt):
+        a = rt.put(3)
+        ref = rt.submit(lambda base, offset=0: base + offset, (10,), {"offset": a})
+        assert rt.get(ref) == 13
+
+    def test_deep_chain_does_not_deadlock(self):
+        # deeper than the worker count: dependency-driven launch must cope
+        with LocalRuntime(max_workers=2) as rt:
+            ref = rt.put(0)
+            for _ in range(50):
+                ref = rt.submit(lambda x: x + 1, (ref,))
+            assert rt.get(ref) == 50
+
+    def test_exception_propagates(self, rt):
+        def boom():
+            raise ValueError("bad")
+
+        ref = rt.submit(boom)
+        with pytest.raises((TaskError, ValueError)):
+            rt.get(ref)
+
+    def test_dependency_failure_propagates(self, rt):
+        def boom():
+            raise ValueError("upstream")
+
+        bad = rt.submit(boom)
+        downstream = rt.submit(lambda x: x, (bad,))
+        with pytest.raises(TaskError, match="dependency"):
+            rt.get(downstream)
+
+    def test_unknown_ref(self, rt):
+        from repro.runtime.object_ref import ObjectRef
+
+        with pytest.raises(KeyError):
+            rt.get(ObjectRef("obj-999999"))
+
+    def test_simulator_options_accepted_and_ignored(self, rt):
+        ref = rt.submit(
+            lambda: 1, compute_cost=1e-3, supported_kinds=frozenset(), name="x"
+        )
+        assert rt.get(ref) == 1
+
+    def test_tasks_actually_overlap(self):
+        with LocalRuntime(max_workers=4) as rt:
+            start = time.perf_counter()
+            refs = [rt.submit(lambda: time.sleep(0.15)) for _ in range(4)]
+            rt.get(refs)
+            elapsed = time.perf_counter() - start
+            assert elapsed < 0.45  # 4 x 0.15s serially would be 0.6s
+
+    def test_wait(self, rt):
+        fast = rt.submit(lambda: "fast")
+        slow = rt.submit(lambda: time.sleep(0.2) or "slow")
+        ready, not_ready = rt.wait([fast, slow], num_returns=1)
+        assert fast in ready
+        rt.get([fast, slow])
+
+    def test_shutdown_rejects_new_work(self):
+        rt = LocalRuntime(max_workers=1)
+        rt.shutdown()
+        with pytest.raises(RuntimeError):
+            rt.submit(lambda: 1)
+
+
+class TestActors:
+    def test_methods_are_mutually_exclusive(self, rt):
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+        def unsafe_increment(state):
+            current = state.value
+            time.sleep(0.001)  # widen the race window
+            state.value = current + 1
+            return state.value
+
+        actor = rt.create_actor(Counter)
+        refs = [actor.call(unsafe_increment) for _ in range(30)]
+        rt.get(refs)
+
+        def read(state):
+            return state.value
+
+        assert rt.get(actor.call(read)) == 30  # no lost updates
+
+    def test_two_actors_run_concurrently(self):
+        with LocalRuntime(max_workers=4) as rt:
+            class Sleeper:
+                pass
+
+            def nap(state):
+                time.sleep(0.15)
+                return threading.get_ident()
+
+            a, b = rt.create_actor(Sleeper), rt.create_actor(Sleeper)
+            start = time.perf_counter()
+            rt.get([a.call(nap), b.call(nap)])
+            assert time.perf_counter() - start < 0.28
+
+    def test_actor_receives_ref_arguments(self, rt):
+        class Acc:
+            def __init__(self):
+                self.total = 0
+
+        def add(state, v):
+            state.total += v
+            return state.total
+
+        actor = rt.create_actor(Acc)
+        v = rt.submit(lambda: 7)
+        assert rt.get(actor.call(add, v)) == 7
+
+
+class TestInterop:
+    def test_same_program_runs_on_both_backends(self):
+        """The portability claim: one task program, two runtimes."""
+
+        def program(runtime):
+            a = runtime.put([1, 2, 3])
+            doubled = runtime.submit(
+                lambda xs: [x * 2 for x in xs], (a,), name="double"
+            )
+            return runtime.get(
+                runtime.submit(lambda xs: sum(xs), (doubled,), name="sum")
+            )
+
+        from repro.cluster import build_physical_disagg
+        from repro.runtime import ServerlessRuntime
+
+        with LocalRuntime(max_workers=2) as local:
+            assert program(local) == 12
+        assert program(ServerlessRuntime(build_physical_disagg())) == 12

@@ -1,0 +1,101 @@
+"""Tests for the Daphne-like lazy matrix API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontends.matrix import Matrix, constant, param
+from repro.ir import PassManager, run_function
+
+
+class TestConstruction:
+    def test_param_and_constant(self):
+        x = param("x", (4, 3))
+        assert x.shape == (4, 3)
+        c = constant(np.eye(3))
+        assert c.shape == (3, 3)
+
+    def test_matmul_shape_check(self):
+        x = param("x", (4, 3))
+        y = param("y", (5, 2))
+        with pytest.raises(TypeError, match="inner dims"):
+            x @ y
+
+    def test_rank_checks(self):
+        v = param("v", (4,))
+        with pytest.raises(TypeError):
+            v @ v
+        with pytest.raises(TypeError):
+            v.t()
+
+    def test_broadcast_mismatch(self):
+        with pytest.raises(TypeError, match="broadcast"):
+            param("a", (4, 3)) + param("b", (4, 2))
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            param("x", (4, 3)).sum(axis=5)
+
+
+class TestEvaluation:
+    def test_affine_relu(self, rng):
+        x = param("x", (5, 3))
+        w = constant(rng.standard_normal((3, 2)))
+        b = constant(rng.standard_normal((1, 2)))
+        out = ((x @ w) + b).relu()
+        xv = rng.standard_normal((5, 3))
+        got = out.evaluate({"x": xv})
+        want = np.maximum(xv @ w._payload + b._payload, 0.0)
+        np.testing.assert_allclose(got, want)
+
+    def test_scalar_auto_promotion(self, rng):
+        x = param("x", (3, 3))
+        xv = rng.standard_normal((3, 3))
+        got = (x * 2.0 + 1.0).evaluate({"x": xv})
+        np.testing.assert_allclose(got, xv * 2 + 1)
+
+    def test_reductions(self, rng):
+        x = param("x", (4, 3))
+        xv = rng.standard_normal((4, 3))
+        np.testing.assert_allclose(x.sum().evaluate({"x": xv}), xv.sum())
+        np.testing.assert_allclose(x.sum(axis=0).evaluate({"x": xv}), xv.sum(axis=0))
+        np.testing.assert_allclose(x.mean(axis=1).evaluate({"x": xv}), xv.mean(axis=1))
+
+    def test_transpose_and_sigmoid(self, rng):
+        x = param("x", (2, 5))
+        xv = rng.standard_normal((2, 5))
+        got = x.t().sigmoid().evaluate({"x": xv})
+        np.testing.assert_allclose(got, 1 / (1 + np.exp(-xv.T)))
+
+    def test_shared_subexpression_emitted_once(self, rng):
+        x = param("x", (3, 3))
+        h = x.relu()
+        out = h + h  # the diamond: h must be emitted once
+        func = out.to_ir()
+        relu_count = sum(1 for op in func.ops if op.qualified == "linalg.relu")
+        assert relu_count == 1
+        xv = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            out.evaluate({"x": xv}), 2 * np.maximum(xv, 0)
+        )
+
+    def test_same_param_name_shares_value(self, rng):
+        x1 = param("x", (3, 3))
+        expr = x1 + x1.relu()
+        func = expr.to_ir()
+        assert len(func.params) == 1
+
+
+class TestIntegrationWithPasses:
+    def test_matrix_program_fuses(self, rng):
+        """Matrix expressions ride the same fusion pass as everything else."""
+        x = param("x", (8, 8))
+        out = x.relu().sigmoid().exp()
+        func = out.to_ir()
+        xv = rng.standard_normal((8, 8))
+        (before,) = run_function(func, {"x": xv})
+        stats = PassManager().run(func)
+        assert stats.ops_fused >= 2
+        (after,) = run_function(func, {"x": xv})
+        np.testing.assert_allclose(before, after)

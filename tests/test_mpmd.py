@@ -1,0 +1,132 @@
+"""Tests for MPMD pipeline-parallel training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_physical_disagg, build_tightly_coupled
+from repro.frontends.mpmd import (
+    PipelineParallelTrainer,
+    StageState,
+    serial_reference_training,
+)
+from repro.runtime import ServerlessRuntime
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.standard_normal((48, 6))
+    w1 = rng.standard_normal((6, 4))
+    w2 = rng.standard_normal(4)
+    y = np.maximum(X @ w1, 0) @ w2
+    return X, y
+
+
+def make_trainer(dims=(6, 12, 1), n_accel=3, lr=0.05, seed=2):
+    rt = ServerlessRuntime(build_tightly_coupled(n_accel=n_accel))
+    return PipelineParallelTrainer(rt, dims, lr=lr, seed=seed), rt
+
+
+class TestStageState:
+    def test_forward_backward_shapes(self, rng):
+        state = StageState(4, 3, is_last=False, seed=0)
+        x = rng.standard_normal((8, 4))
+        out = StageState.forward(state, 0, x)
+        assert out.shape == (8, 3)
+        assert np.all(out >= 0)  # relu on hidden stages
+        grad_in = StageState.backward(state, 0, rng.standard_normal((8, 3)))
+        assert grad_in.shape == (8, 4)
+        assert 0 not in state.inputs  # cache consumed
+
+    def test_last_stage_is_linear(self, rng):
+        state = StageState(4, 1, is_last=True, seed=0)
+        x = rng.standard_normal((8, 4))
+        out = StageState.forward(state, 0, x)
+        np.testing.assert_allclose(out, x @ state.W)
+
+    def test_apply_update_resets_accumulator(self, rng):
+        state = StageState(4, 2, is_last=True, seed=0)
+        x = rng.standard_normal((8, 4))
+        StageState.forward(state, 0, x)
+        StageState.backward(state, 0, rng.standard_normal((8, 2)))
+        norm = StageState.apply_update(state, lr=0.1, scale=1.0)
+        assert norm > 0
+        assert np.all(state.dW_accum == 0)
+
+
+class TestPipelineTrainer:
+    def test_matches_serial_oracle_exactly(self, data):
+        X, y = data
+        trainer, _ = make_trainer()
+        for _ in range(4):
+            trainer.train_epoch(X, y, microbatches=4)
+        ref = serial_reference_training((6, 12, 1), X, y, epochs=4, lr=0.05, seed=2)
+        for W_dist, W_ref in zip(trainer.weights(), ref):
+            np.testing.assert_allclose(W_dist, W_ref)
+
+    def test_microbatch_count_does_not_change_math(self, data):
+        X, y = data
+        t1, _ = make_trainer(seed=5)
+        t2, _ = make_trainer(seed=5)
+        t1.train_epoch(X, y, microbatches=2)
+        t2.train_epoch(X, y, microbatches=8)
+        for a, b in zip(t1.weights(), t2.weights()):
+            np.testing.assert_allclose(a, b)
+
+    def test_loss_decreases(self, data):
+        X, y = data
+        trainer, _ = make_trainer(lr=0.02)
+        losses = [trainer.train_epoch(X, y, microbatches=4) for _ in range(8)]
+        assert losses[-1] < losses[0]
+
+    def test_stages_on_distinct_accelerators(self, data):
+        trainer, _ = make_trainer(dims=(6, 8, 8, 1), n_accel=4)
+        devices = {h.device_id for h in trainer.handles}
+        assert len(devices) == 3
+
+    def test_pipelining_overlaps_stages(self, data):
+        """More microbatches amortize the pipeline bubble in virtual time."""
+        X, y = data
+
+        def epoch_time(mb):
+            rt = ServerlessRuntime(build_tightly_coupled(n_accel=4))
+            trainer = PipelineParallelTrainer(
+                rt, (6, 8, 8, 1), lr=0.05, seed=5, stage_cost=0.08
+            )
+            trainer.train_epoch(X, y, microbatches=mb)
+            return rt.sim.now
+
+        times = [epoch_time(mb) for mb in (1, 2, 4, 8)]
+        # 1 microbatch = fully serial through 3 stages; more overlap them
+        assert times == sorted(times, reverse=True)
+        assert times[-1] < times[0] / 1.5
+
+    def test_runs_on_disagg_cluster_too(self, data):
+        X, y = data
+        rt = ServerlessRuntime(build_physical_disagg())
+        trainer = PipelineParallelTrainer(rt, (6, 12, 1), lr=0.05, seed=2)
+        loss = trainer.train_epoch(X, y, microbatches=4)
+        assert np.isfinite(loss)
+
+    def test_validation(self, data):
+        X, y = data
+        with pytest.raises(ValueError, match="at least one layer"):
+            rt = ServerlessRuntime(build_tightly_coupled(2))
+            PipelineParallelTrainer(rt, (6,))
+        with pytest.raises(ValueError, match="accelerators"):
+            rt = ServerlessRuntime(build_tightly_coupled(2))
+            PipelineParallelTrainer(rt, (6, 8, 8, 8, 1))
+        trainer, _ = make_trainer()
+        with pytest.raises(ValueError, match="microbatch"):
+            trainer.train_epoch(X, y, microbatches=0)
+
+    def test_predict_uses_trained_weights(self, data):
+        X, y = data
+        trainer, _ = make_trainer(lr=0.02)
+        for _ in range(10):
+            trainer.train_epoch(X, y, microbatches=4)
+        preds = trainer.predict(X)
+        assert preds.shape == y.shape
+        baseline = np.mean((y - y.mean()) ** 2)
+        assert np.mean((preds - y) ** 2) < baseline

@@ -1,0 +1,90 @@
+"""Tests for the plasma-like per-device object store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hardware import FPGA_SPEC, MEMORY_BLADE_SPEC, Device
+from repro.cluster.simtime import Simulator
+from repro.runtime.object_store import LocalObjectStore, ObjectStoreFullError
+
+
+def small_device(sim, capacity=1000):
+    return Device(
+        sim, FPGA_SPEC.with_overrides(memory_bytes=capacity), node_id="card0"
+    )
+
+
+class TestBasics:
+    def test_put_get(self, sim):
+        store = LocalObjectStore(small_device(sim))
+        record, spilled = store.put("o1", {"v": 1}, 100)
+        assert spilled == 0
+        assert store.get("o1").value == {"v": 1}
+        assert store.contains("o1")
+        assert store.used_bytes == 100
+        assert len(store) == 1
+
+    def test_duplicate_put_rejected(self, sim):
+        store = LocalObjectStore(small_device(sim))
+        store.put("o1", 1, 10)
+        with pytest.raises(KeyError, match="already"):
+            store.put("o1", 2, 10)
+
+    def test_missing_get_raises(self, sim):
+        store = LocalObjectStore(small_device(sim))
+        with pytest.raises(KeyError):
+            store.get("ghost")
+
+    def test_delete_frees_device_memory(self, sim):
+        device = small_device(sim)
+        store = LocalObjectStore(device)
+        store.put("o1", 1, 400)
+        assert device.memory_used == 400
+        assert store.delete("o1") is True
+        assert device.memory_used == 0
+        assert store.delete("o1") is False
+
+    def test_clear_on_failure(self, sim):
+        device = small_device(sim)
+        store = LocalObjectStore(device)
+        store.put("a", 1, 100)
+        store.put("b", 2, 100)
+        store.clear()
+        assert len(store) == 0
+        assert device.memory_used == 0
+
+
+class TestSpill:
+    def test_spills_lru_to_target(self, sim):
+        blade = LocalObjectStore(Device(sim, MEMORY_BLADE_SPEC, node_id="blade"))
+        store = LocalObjectStore(small_device(sim, capacity=250), spill_target=blade)
+        store.put("a", "A", 100)
+        store.put("b", "B", 100)
+        store.get("a")  # touch: b becomes LRU victim
+        store.put("c", "C", 100)
+        assert not store.contains("b")
+        assert blade.get("b").value == "B"
+        assert store.spilled_out == 1
+        assert store.spilled_bytes == 100
+
+    def test_full_without_spill_target_raises(self, sim):
+        store = LocalObjectStore(small_device(sim, capacity=150))
+        store.put("a", 1, 100)
+        with pytest.raises(ObjectStoreFullError, match="no spill target"):
+            store.put("b", 2, 100)
+
+    def test_object_bigger_than_device_raises(self, sim):
+        blade = LocalObjectStore(Device(sim, MEMORY_BLADE_SPEC, node_id="blade"))
+        store = LocalObjectStore(small_device(sim, capacity=100), spill_target=blade)
+        with pytest.raises(ObjectStoreFullError, match="empty store"):
+            store.put("huge", 1, 1000)
+
+    def test_multi_spill_until_fits(self, sim):
+        blade = LocalObjectStore(Device(sim, MEMORY_BLADE_SPEC, node_id="blade"))
+        store = LocalObjectStore(small_device(sim, capacity=300), spill_target=blade)
+        for i in range(3):
+            store.put(f"o{i}", i, 100)
+        store.put("big", "B", 250)
+        assert store.contains("big")
+        assert len(blade) >= 2

@@ -1,0 +1,151 @@
+"""Tests for GF(256) arithmetic and redundancy schemes (incl. property tests)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching.gf256 import EXP, LOG, gf_inv, gf_mat_inv, gf_matmul, gf_mul, gf_pow
+from repro.caching.replication import ErasureCode, ReplicationScheme
+
+
+class TestGF256:
+    def test_exp_log_are_inverse_tables(self):
+        for x in range(1, 256):
+            assert EXP[LOG[x]] == x
+
+    def test_multiplicative_identity_and_zero(self):
+        a = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(gf_mul(a, 1), a)
+        assert np.all(gf_mul(a, 0) == 0)
+
+    def test_field_has_no_zero_divisors(self):
+        a = np.arange(1, 256, dtype=np.uint8)
+        for b in (1, 2, 37, 255):
+            assert np.all(gf_mul(a, b) != 0)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_associativity_and_distributivity(self, a, b, c):
+        ab_c = gf_mul(gf_mul(a, b), c)
+        a_bc = gf_mul(a, gf_mul(b, c))
+        assert int(ab_c) == int(a_bc)
+        left = gf_mul(a, b ^ c)
+        right = int(gf_mul(a, b)) ^ int(gf_mul(a, c))
+        assert int(left) == right
+
+    def test_inverse(self):
+        a = np.arange(1, 256, dtype=np.uint8)
+        assert np.all(gf_mul(a, gf_inv(a)) == 1)
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(np.uint8(0))
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(0, 5) == 0
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(3, 1) == 3
+        # g^255 == 1 for any nonzero g
+        for g in (2, 3, 7):
+            assert gf_pow(g, 255) == 1
+
+    def test_matrix_inverse_round_trip(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = int(rng.integers(1, 6))
+            while True:
+                m = rng.integers(0, 256, (n, n)).astype(np.uint8)
+                try:
+                    inv = gf_mat_inv(m)
+                    break
+                except np.linalg.LinAlgError:
+                    continue
+            assert np.array_equal(gf_matmul(m, inv), np.eye(n, dtype=np.uint8))
+
+    def test_singular_matrix_raises(self):
+        m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_mat_inv(m)
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), np.uint8), np.zeros((2, 3), np.uint8))
+
+
+class TestReplicationScheme:
+    def test_encode_makes_identical_replicas(self):
+        scheme = ReplicationScheme(3)
+        shards = scheme.encode(b"hello")
+        assert len(shards) == 3
+        assert all(s.payload == b"hello" for s in shards)
+        assert scheme.storage_overhead == 3.0
+        assert scheme.tolerates() == 2
+
+    def test_decode_from_any_survivor(self):
+        scheme = ReplicationScheme(3)
+        shards = scheme.encode(b"data")
+        assert scheme.decode([None, None, shards[2]], 4) == b"data"
+
+    def test_all_lost_raises(self):
+        scheme = ReplicationScheme(2)
+        with pytest.raises(ValueError, match="unrecoverable"):
+            scheme.decode([None, None], 4)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ReplicationScheme(0)
+
+
+class TestErasureCode:
+    def test_overhead_and_tolerance(self):
+        ec = ErasureCode(4, 2)
+        assert ec.storage_overhead == pytest.approx(1.5)
+        assert ec.tolerates() == 2
+
+    def test_exhaustive_two_loss_recovery(self):
+        ec = ErasureCode(4, 2)
+        data = bytes(range(256)) * 4 + b"tail"
+        shards = ec.encode(data)
+        for lost in itertools.combinations(range(6), 2):
+            survivors = [None if i in lost else shards[i] for i in range(6)]
+            assert ec.decode(survivors, len(data)) == data
+
+    def test_too_many_losses_raises(self):
+        ec = ErasureCode(4, 2)
+        shards = ec.encode(b"x" * 100)
+        survivors = [None, None, None, shards[3], shards[4], shards[5]]
+        with pytest.raises(ValueError, match="needs 4"):
+            ec.decode(survivors[:3] + [None, None, None], 100)
+
+    def test_data_shards_are_systematic(self):
+        ec = ErasureCode(2, 1)
+        data = b"abcdef"
+        shards = ec.encode(data)
+        assert shards[0].payload + shards[1].payload == data
+        assert not shards[0].is_parity and shards[2].is_parity
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ErasureCode(0, 1)
+        with pytest.raises(ValueError):
+            ErasureCode(200, 100)
+
+    @given(
+        data=st.binary(min_size=0, max_size=500),
+        k=st.integers(1, 8),
+        m=st.integers(0, 4),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recovery_property(self, data, k, m, seed):
+        """Any m losses out of k+m shards are always recoverable."""
+        ec = ErasureCode(k, m)
+        shards = ec.encode(data)
+        rng = np.random.default_rng(seed)
+        lost = rng.choice(k + m, size=m, replace=False) if m else []
+        survivors = [None if i in lost else shards[i] for i in range(k + m)]
+        assert ec.decode(survivors, len(data)) == data

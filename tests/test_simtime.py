@@ -1,0 +1,287 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.simtime import (
+    AllOf,
+    AnyOf,
+    Channel,
+    Interrupt,
+    Resource,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_callbacks_run_in_time_order(self, sim):
+        seen = []
+        sim.schedule(2.0, lambda: seen.append("b"))
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(3.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_insertion_order(self, sim):
+        seen = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_peek_returns_next_event_time(self, sim):
+        assert sim.peek() is None
+        sim.schedule(4.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek() == 2.0
+
+
+class TestProcesses:
+    def test_process_advances_virtual_time(self, sim):
+        def proc():
+            yield sim.timeout(1.5)
+            yield sim.timeout(2.5)
+            return "done"
+
+        p = sim.process(proc())
+        result = sim.run_until_complete(p)
+        assert result == "done"
+        assert sim.now == 4.0
+
+    def test_nested_process_await(self, sim):
+        def inner():
+            yield sim.timeout(1.0)
+            return 21
+
+        def outer():
+            value = yield sim.process(inner())
+            return value * 2
+
+        assert sim.run_until_complete(sim.process(outer())) == 42
+
+    def test_yielding_non_awaitable_raises(self, sim):
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="expected an Awaitable"):
+            sim.run()
+
+    def test_process_waiting_on_already_triggered(self, sim):
+        sig = Signal(sim)
+        sig.succeed(7)
+
+        def proc():
+            value = yield sig
+            return value
+
+        assert sim.run_until_complete(sim.process(proc())) == 7
+
+    def test_run_until_complete_detects_deadlock(self, sim):
+        sig = Signal(sim)
+
+        def proc():
+            yield sig
+
+        p = sim.process(proc())
+        with pytest.raises(SimulationError, match="did not complete"):
+            sim.run_until_complete(p)
+
+    def test_interrupt_resumes_with_exception(self, sim):
+        caught = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as exc:
+                caught.append((exc.cause, sim.now))
+            return "survived"
+
+        p = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(1.0)
+            p.interrupt("die")
+
+        sim.process(killer())
+        sim.run()
+        # delivered at t=1, long before the stale timeout would have fired
+        assert caught == [("die", 1.0)]
+        assert p.value == "survived"
+
+    def test_interrupt_after_completion_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(0.1)
+            return 1
+
+        p = sim.process(quick())
+        sim.run()
+        p.interrupt("late")
+        sim.run()
+        assert p.value == 1
+
+
+class TestSignalsAndCombinators:
+    def test_signal_resumes_all_waiters(self, sim):
+        sig = Signal(sim)
+        values = []
+
+        def waiter(tag):
+            value = yield sig
+            values.append((tag, value))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.schedule(1.0, sig.succeed, 99)
+        sim.run()
+        assert sorted(values) == [("a", 99), ("b", 99)]
+
+    def test_double_trigger_rejected(self, sim):
+        sig = Signal(sim)
+        sig.succeed(1)
+        with pytest.raises(SimulationError):
+            sig.succeed(2)
+
+    def test_all_of_collects_in_order(self, sim):
+        t1 = sim.timeout(3.0, "slow")
+        t2 = sim.timeout(1.0, "fast")
+
+        def proc():
+            values = yield sim.all_of([t1, t2])
+            return values
+
+        assert sim.run_until_complete(sim.process(proc())) == ["slow", "fast"]
+        assert sim.now == 3.0
+
+    def test_all_of_empty_completes_immediately(self, sim):
+        def proc():
+            yield sim.all_of([])
+            return "ok"
+
+        assert sim.run_until_complete(sim.process(proc())) == "ok"
+
+    def test_any_of_returns_first(self, sim):
+        t1 = sim.timeout(3.0, "slow")
+        t2 = sim.timeout(1.0, "fast")
+
+        def proc():
+            index, value = yield sim.any_of([t1, t2])
+            return index, value
+
+        assert sim.run_until_complete(sim.process(proc())) == (1, "fast")
+        # sim.now is 1.0 at the moment AnyOf fires
+        assert sim.now >= 1.0
+
+    def test_any_of_requires_children(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+
+class TestResource:
+    def test_fifo_granting_serializes(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            yield res.request()
+            order.append((tag, sim.now))
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(user("a", 2.0))
+        sim.process(user("b", 1.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 2.0)]
+
+    def test_capacity_allows_parallelism(self, sim):
+        res = Resource(sim, capacity=2)
+        starts = []
+
+        def user(tag):
+            yield res.request()
+            starts.append((tag, sim.now))
+            yield sim.timeout(1.0)
+            res.release()
+
+        for tag in "abc":
+            sim.process(user(tag))
+        sim.run()
+        assert starts == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_release_of_idle_resource_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_use_helper(self, sim):
+        res = Resource(sim, capacity=1)
+        p1 = res.use(2.0)
+        p2 = res.use(3.0)
+        sim.run()
+        assert p1.triggered and p2.triggered
+        assert sim.now == 5.0
+
+
+class TestChannel:
+    def test_put_then_get(self, sim):
+        ch = Channel(sim)
+        ch.put("x")
+
+        def getter():
+            item = yield ch.get()
+            return item
+
+        assert sim.run_until_complete(sim.process(getter())) == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        ch = Channel(sim)
+        got = []
+
+        def getter():
+            item = yield ch.get()
+            got.append((item, sim.now))
+
+        sim.process(getter())
+        sim.schedule(5.0, ch.put, "late")
+        sim.run()
+        assert got == [("late", 5.0)]
+
+    def test_fifo_ordering(self, sim):
+        ch = Channel(sim)
+        for i in range(3):
+            ch.put(i)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                got.append((yield ch.get()))
+
+        sim.process(getter())
+        sim.run()
+        assert got == [0, 1, 2]

@@ -1,0 +1,209 @@
+"""Tests for the SQL frontend: lexer, parser, planner, execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontends.sql import (
+    AggCall,
+    SQLPlanError,
+    SQLSyntaxError,
+    parse_select,
+    plan_select,
+    sql_to_ir,
+    tokenize,
+)
+from repro.ir import run_function
+from repro.ir.expr import BinOp, Col, Lit
+
+from conftest import assert_batches_close
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt x FrOm t")
+        assert [t.kind for t in tokens] == ["kw", "ident", "kw", "ident", "eof"]
+        assert tokens[0].text == "select"
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("42 3.14 'hello'")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("number", "42"),
+            ("number", "3.14"),
+            ("string", "hello"),
+        ]
+
+    def test_symbols(self):
+        tokens = tokenize("a >= 1 <> 2")
+        assert [t.text for t in tokens if t.kind == "sym"] == [">=", "<>"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize("select 'oops")
+
+    def test_unexpected_char(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected"):
+            tokenize("select @")
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse_select("SELECT a, b FROM t")
+        assert stmt.table == "t"
+        assert [i.output_name for i in stmt.items] == ["a", "b"]
+        assert not stmt.is_aggregate
+
+    def test_select_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert stmt.items == []
+
+    def test_where_precedence(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > 1 AND b < 2 OR c = 3")
+        # OR binds loosest
+        assert isinstance(stmt.where, BinOp) and stmt.where.op == "or"
+        assert stmt.where.left.op == "and"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("SELECT a + b * 2 AS z FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized(self):
+        stmt = parse_select("SELECT (a + b) * 2 AS z FROM t")
+        assert stmt.items[0].expr.op == "*"
+
+    def test_aggregates_and_aliases(self):
+        stmt = parse_select("SELECT k, SUM(x) AS s, COUNT(*), AVG(x) FROM t GROUP BY k")
+        assert stmt.is_aggregate
+        aggs = [i.expr for i in stmt.items if isinstance(i.expr, AggCall)]
+        assert [a.fn for a in aggs] == ["sum", "count", "mean"]
+        assert stmt.items[2].output_name == "count_all"
+
+    def test_join_clause(self):
+        stmt = parse_select("SELECT a FROM t JOIN u ON t.k = u.k2")
+        assert stmt.joins[0].table == "u"
+        assert stmt.joins[0].left_on == "k"
+        assert stmt.joins[0].right_on == "k2"
+
+    def test_order_limit(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC LIMIT 5")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 5
+
+    def test_trailing_semicolon_ok(self):
+        parse_select("SELECT a FROM t;")
+
+    def test_garbage_after_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT a FROM t WHERE")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="not valid"):
+            parse_select("SELECT SUM(*) FROM t")
+
+    def test_not_and_unary_minus(self):
+        stmt = parse_select("SELECT a FROM t WHERE NOT a > -1")
+        assert stmt.where is not None
+
+
+class TestPlanner:
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SQLPlanError, match="unknown table"):
+            sql_to_ir("SELECT oid FROM ghost", catalog)
+
+    def test_nonaggregated_column_outside_group_by(self, catalog):
+        with pytest.raises(SQLPlanError, match="GROUP BY"):
+            sql_to_ir("SELECT amount, SUM(qty) FROM orders GROUP BY cust", catalog)
+
+    def test_having_without_group_by(self, catalog):
+        with pytest.raises(SQLPlanError, match="HAVING"):
+            sql_to_ir("SELECT oid FROM orders HAVING oid > 1", catalog)
+
+    def test_mixed_sort_directions_rejected(self, catalog):
+        with pytest.raises(SQLPlanError, match="mixed"):
+            sql_to_ir("SELECT oid, cust FROM orders ORDER BY oid ASC, cust DESC", catalog)
+
+    def test_plan_shape(self, catalog):
+        func = sql_to_ir(
+            "SELECT cust, SUM(amount) AS s FROM orders WHERE amount > 5 "
+            "GROUP BY cust ORDER BY cust LIMIT 3",
+            catalog,
+        )
+        assert [op.qualified for op in func.ops] == [
+            "relational.scan",
+            "relational.filter",
+            "relational.aggregate",
+            "relational.sort",
+            "relational.limit",
+        ]
+
+
+class TestExecution:
+    def run_sql(self, sql, catalog, tables):
+        (out,) = run_function(sql_to_ir(sql, catalog), tables=tables)
+        return out
+
+    def test_projection_with_expression(self, catalog, orders, customers):
+        out = self.run_sql(
+            "SELECT oid, amount * qty AS revenue FROM orders",
+            catalog,
+            {"orders": orders},
+        )
+        np.testing.assert_allclose(
+            out.column("revenue"),
+            orders.column("amount") * orders.column("qty"),
+        )
+
+    def test_select_star_passthrough(self, catalog, orders):
+        out = self.run_sql("SELECT * FROM orders", catalog, {"orders": orders})
+        assert out == orders
+
+    def test_where_filters(self, catalog, orders):
+        out = self.run_sql(
+            "SELECT oid FROM orders WHERE amount > 50 AND qty < 5",
+            catalog,
+            {"orders": orders},
+        )
+        mask = (orders.column("amount") > 50) & (orders.column("qty") < 5)
+        assert out.num_rows == int(mask.sum())
+
+    def test_join_group_by_matches_numpy(self, catalog, orders, customers):
+        out = self.run_sql(
+            "SELECT region, SUM(amount) AS total FROM orders "
+            "JOIN customers ON cust = cid GROUP BY region ORDER BY region",
+            catalog,
+            {"orders": orders, "customers": customers},
+        )
+        region_of = dict(
+            zip(customers.column("cid").tolist(), customers.column("region").tolist())
+        )
+        expected = {}
+        for c, a in zip(orders.column("cust").tolist(), orders.column("amount").tolist()):
+            expected[region_of[c]] = expected.get(region_of[c], 0.0) + a
+        for region, total in zip(out.column("region").tolist(), out.column("total").tolist()):
+            assert total == pytest.approx(expected[region])
+
+    def test_having_filters_groups(self, catalog, orders):
+        out = self.run_sql(
+            "SELECT cust, COUNT(*) AS n FROM orders GROUP BY cust HAVING n > 25",
+            catalog,
+            {"orders": orders},
+        )
+        assert all(n > 25 for n in out.column("n").tolist())
+
+    def test_order_by_desc_limit(self, catalog, orders):
+        out = self.run_sql(
+            "SELECT oid, amount FROM orders ORDER BY amount DESC LIMIT 10",
+            catalog,
+            {"orders": orders},
+        )
+        top10 = np.sort(orders.column("amount"))[-10:][::-1]
+        np.testing.assert_allclose(out.column("amount"), top10)
+
+    def test_count_star(self, catalog, orders):
+        out = self.run_sql(
+            "SELECT COUNT(*) AS n FROM orders", catalog, {"orders": orders}
+        )
+        assert out.column("n").tolist() == [orders.num_rows]

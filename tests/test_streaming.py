@@ -1,0 +1,165 @@
+"""Tests for the streaming frontend (micro-batches, windows, state)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.caching import RecordBatch
+from repro.cluster import build_physical_disagg
+from repro.frontends.streaming import (
+    FilterOp,
+    MapOp,
+    StreamJob,
+    WindowAggregate,
+    micro_batches,
+)
+from repro.ir import col, lit
+from repro.runtime import ServerlessRuntime
+
+
+@pytest.fixture
+def stream(rng):
+    table = RecordBatch.from_arrays(
+        {"k": rng.integers(0, 3, 240), "x": rng.random(240)}
+    )
+    return micro_batches(table, 30)
+
+
+class TestMicroBatches:
+    def test_covers_whole_table(self, rng):
+        table = RecordBatch.from_arrays({"x": rng.random(105)})
+        batches = micro_batches(table, 25)
+        assert [b.num_rows for b in batches] == [25, 25, 25, 25, 5]
+
+    def test_batches_are_views(self, rng):
+        table = RecordBatch.from_arrays({"x": rng.random(50)})
+        batches = micro_batches(table, 10)
+        assert np.shares_memory(batches[0].column("x"), table.column("x"))
+
+    def test_invalid_batch_rows(self, rng):
+        table = RecordBatch.from_arrays({"x": rng.random(10)})
+        with pytest.raises(ValueError):
+            micro_batches(table, 0)
+
+
+class TestOperators:
+    def test_map_op(self, stream):
+        op = MapOp(columns=("k",), derived=(("x2", col("x") * 2, "float64"),))
+        out, state = op.apply(stream[0], None)
+        assert out.schema.names == ["k", "x2"]
+        np.testing.assert_allclose(out.column("x2"), stream[0].column("x") * 2)
+
+    def test_filter_op(self, stream):
+        op = FilterOp(pred=col("x") > lit(0.5))
+        out, _ = op.apply(stream[0], None)
+        assert np.all(out.column("x") > 0.5)
+
+    def test_window_aggregate_emits_on_boundary(self, stream):
+        op = WindowAggregate(keys=("k",), aggs=(("s", "sum", "x"),), window=4)
+        state = op.initial_state()
+        emitted = []
+        for batch in stream:
+            out, state = op.apply(batch, state)
+            emitted.append(out.num_rows)
+        # 8 micro-batches, window 4 -> output at t=3 and t=7 only
+        assert [n > 0 for n in emitted] == [False, False, False, True] * 2
+
+    def test_window_sums_are_exact(self, stream):
+        op = WindowAggregate(keys=("k",), aggs=(("s", "sum", "x"),), window=4)
+        state = op.initial_state()
+        outputs = []
+        for batch in stream:
+            out, state = op.apply(batch, state)
+            if out.num_rows:
+                outputs.append(out)
+        from repro.caching import concat_batches
+
+        first_window = concat_batches(stream[:4])
+        expect = {}
+        for k, x in zip(
+            first_window.column("k").tolist(), first_window.column("x").tolist()
+        ):
+            expect[k] = expect.get(k, 0.0) + x
+        got = dict(
+            zip(outputs[0].column("k").tolist(), outputs[0].column("s").tolist())
+        )
+        assert set(got) == set(expect)
+        for k in expect:
+            assert got[k] == pytest.approx(expect[k])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            WindowAggregate(keys=(), aggs=(("s", "sum", "x"),), window=0)
+        with pytest.raises(ValueError):
+            WindowAggregate(keys=(), aggs=(), window=2)
+        with pytest.raises(ValueError, match="slide"):
+            WindowAggregate(keys=(), aggs=(("s", "sum", "x"),), window=2, slide=3)
+
+    def test_sliding_window_overlaps(self, stream):
+        op = WindowAggregate(
+            keys=(), aggs=(("s", "sum", "x"),), window=4, slide=2
+        )
+        state = op.initial_state()
+        emissions = []
+        for batch in stream:
+            out, state = op.apply(batch, state)
+            emissions.append(out)
+        # 8 batches, window 4, slide 2 -> closes at t=3, 5, 7
+        closes = [i for i, e in enumerate(emissions) if e.num_rows]
+        assert closes == [3, 5, 7]
+        # each closing covers the last 4 batches exactly
+        from repro.caching import concat_batches
+
+        for t in closes:
+            covered = concat_batches(stream[t - 3 : t + 1])
+            assert emissions[t].column("s")[0] == pytest.approx(
+                covered.column("x").sum()
+            )
+
+    def test_sliding_window_distributed_matches_local(self, stream):
+        job = StreamJob(
+            [WindowAggregate(keys=("k",), aggs=(("s", "sum", "x"),), window=3, slide=1)]
+        )
+        rt = ServerlessRuntime(build_physical_disagg())
+        dist = job.run(rt, stream)
+        local = job.run_local(stream)
+        for d, l in zip(dist, local):
+            assert d == l
+
+
+class TestStreamJob:
+    def job(self):
+        return StreamJob(
+            [
+                FilterOp(pred=col("x") > lit(0.2)),
+                WindowAggregate(keys=("k",), aggs=(("s", "sum", "x"),), window=4),
+            ]
+        )
+
+    def test_distributed_matches_local(self, stream):
+        rt = ServerlessRuntime(build_physical_disagg())
+        dist = self.job().run(rt, stream)
+        local = self.job().run_local(stream)
+        assert len(dist) == len(local)
+        for d, l in zip(dist, local):
+            assert d == l
+
+    def test_state_carries_between_micro_batches(self, stream):
+        rt = ServerlessRuntime(build_physical_disagg())
+        outputs = self.job().run(rt, stream)
+        # windows close only every 4th batch: state crossed task boundaries
+        assert [o.num_rows > 0 for o in outputs].count(True) == 2
+
+    def test_empty_stream_rejected(self):
+        rt = ServerlessRuntime(build_physical_disagg())
+        with pytest.raises(ValueError, match="empty stream"):
+            self.job().run(rt, [])
+
+    def test_stateless_pipeline(self, stream):
+        job = StreamJob([FilterOp(pred=col("x") > lit(0.9))])
+        rt = ServerlessRuntime(build_physical_disagg())
+        dist = job.run(rt, stream)
+        local = job.run_local(stream)
+        for d, l in zip(dist, local):
+            assert d == l

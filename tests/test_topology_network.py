@@ -1,0 +1,144 @@
+"""Tests for topology routing and the network transfer model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hardware import MB
+from repro.cluster.network import CONTROL_MSG_BYTES, Network
+from repro.cluster.simtime import Simulator
+from repro.cluster.topology import (
+    FABRIC_LINK,
+    NIC_LINK,
+    ONCHIP_LINK,
+    PCIE_LINK,
+    LinkSpec,
+    Topology,
+)
+
+
+def line_topology() -> Topology:
+    topo = Topology()
+    topo.add_link("a", "b", LinkSpec(latency=1e-6, bandwidth=1e9))
+    topo.add_link("b", "c", LinkSpec(latency=2e-6, bandwidth=2e9))
+    return topo
+
+
+class TestTopology:
+    def test_route_is_hop_list(self):
+        topo = line_topology()
+        assert topo.route("a", "c") == [("a", "b"), ("b", "c")]
+        assert topo.route("c", "a") == [("c", "b"), ("b", "a")]
+
+    def test_route_to_self_is_empty(self):
+        topo = line_topology()
+        assert topo.route("a", "a") == []
+
+    def test_shortest_path_prefers_low_latency(self):
+        topo = line_topology()
+        # add a slow shortcut; Dijkstra must avoid it
+        topo.add_link("a", "c", LinkSpec(latency=1e-2, bandwidth=1e9))
+        assert topo.route("a", "c") == [("a", "b"), ("b", "c")]
+
+    def test_direct_link_wins_when_faster(self):
+        topo = line_topology()
+        topo.add_link("a", "c", LinkSpec(latency=1e-9, bandwidth=1e9))
+        assert topo.route("a", "c") == [("a", "c")]
+
+    def test_unknown_endpoint_raises(self):
+        topo = line_topology()
+        with pytest.raises(KeyError):
+            topo.route("a", "zzz")
+
+    def test_disconnected_raises(self):
+        topo = line_topology()
+        topo.add_endpoint("island")
+        with pytest.raises(KeyError, match="no path"):
+            topo.route("a", "island")
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.add_link("x", "x", NIC_LINK)
+
+    def test_path_metrics(self):
+        topo = line_topology()
+        assert topo.path_latency("a", "c") == pytest.approx(3e-6)
+        assert topo.bottleneck_bandwidth("a", "c") == 1e9
+        assert topo.hop_count("a", "c") == 2
+
+    def test_link_catalog_ordering(self):
+        # sanity: on-chip is fastest, NIC is slowest of the fast links
+        assert ONCHIP_LINK.latency < PCIE_LINK.latency < NIC_LINK.latency
+        assert FABRIC_LINK.latency < NIC_LINK.latency
+
+    def test_transfer_time_formula(self):
+        link = LinkSpec(latency=1e-3, bandwidth=1e6)
+        assert link.transfer_time(1_000_000) == pytest.approx(1.001)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+
+
+class TestNetwork:
+    def test_transfer_time_matches_estimate_uncontended(self, sim):
+        topo = line_topology()
+        net = Network(sim, topo)
+        p = net.transfer("a", "c", 8 * MB)
+        sim.run()
+        assert p.triggered
+        assert sim.now == pytest.approx(net.transfer_time_estimate("a", "c", 8 * MB))
+
+    def test_zero_hop_transfer_completes(self, sim):
+        net = Network(sim, line_topology())
+        p = net.transfer("a", "a", 123)
+        sim.run()
+        assert p.triggered and p.value == 123
+        assert sim.now == 0.0
+
+    def test_contention_serializes_on_shared_link(self, sim):
+        topo = Topology()
+        topo.add_link("a", "b", LinkSpec(latency=0.0, bandwidth=100.0))
+        net = Network(sim, topo)
+        net.transfer("a", "b", 100)  # 1 second each
+        net.transfer("a", "b", 100)
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_disjoint_links_run_in_parallel(self, sim):
+        topo = Topology()
+        topo.add_link("a", "b", LinkSpec(latency=0.0, bandwidth=100.0))
+        topo.add_link("c", "d", LinkSpec(latency=0.0, bandwidth=100.0))
+        net = Network(sim, topo)
+        net.transfer("a", "b", 100)
+        net.transfer("c", "d", 100)
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_stats_accumulate(self, sim):
+        net = Network(sim, line_topology())
+        net.transfer("a", "c", 1000)
+        net.message("a", "b")
+        sim.run()
+        assert net.stats.transfers == 1
+        assert net.stats.messages == 1
+        assert net.stats.bytes_moved == 1000
+        # per-link accounting includes the control message frame
+        key = tuple(sorted(("a", "b")))
+        assert net.stats.bytes_by_link[key] == 1000 + CONTROL_MSG_BYTES
+
+    def test_rpc_is_two_messages(self, sim):
+        net = Network(sim, line_topology())
+        p = net.rpc("a", "c")
+        sim.run()
+        assert p.triggered
+        assert net.stats.messages == 2
+        one_way = sum(
+            l.transfer_time(CONTROL_MSG_BYTES)
+            for l in (line_topology().link("a", "b"), line_topology().link("b", "c"))
+        )
+        assert sim.now == pytest.approx(2 * one_way)
+
+    def test_negative_transfer_rejected(self, sim):
+        net = Network(sim, line_topology())
+        with pytest.raises(ValueError):
+            net.transfer("a", "b", -5)
