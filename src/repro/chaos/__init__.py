@@ -1,0 +1,28 @@
+"""repro.chaos — deterministic fault injection for the simulated runtime.
+
+Build a :class:`ChaosSchedule` (fluently or from a seed), arm it with a
+:class:`ChaosMonkey`, and run the workload; the runtime's heartbeat
+detector, retry policy, and actor reconstruction do the surviving.
+"""
+
+from .events import (
+    ChaosSchedule,
+    Fault,
+    LinkDegradation,
+    MessageLoss,
+    NetworkPartition,
+    NodeCrash,
+    Straggler,
+)
+from .monkey import ChaosMonkey
+
+__all__ = [
+    "ChaosMonkey",
+    "ChaosSchedule",
+    "Fault",
+    "LinkDegradation",
+    "MessageLoss",
+    "NetworkPartition",
+    "NodeCrash",
+    "Straggler",
+]

@@ -1,0 +1,228 @@
+"""Fault vocabulary and deterministic chaos schedules.
+
+A :class:`ChaosSchedule` is a plain list of fault records pinned to virtual
+times.  Nothing here touches the runtime — the schedule is data; the
+:class:`~repro.chaos.monkey.ChaosMonkey` arms it against a live runtime.
+Keeping the two separate means a schedule can be printed, stored next to a
+benchmark result, and replayed bit-for-bit: the determinism contract is
+that the same schedule (including one built by :meth:`ChaosSchedule.random`
+from a seed) against the same workload yields the identical event log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Fault",
+    "NodeCrash",
+    "NetworkPartition",
+    "LinkDegradation",
+    "MessageLoss",
+    "Straggler",
+    "ChaosSchedule",
+]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base record: something bad happens at virtual time ``at``."""
+
+    at: float
+
+
+@dataclass(frozen=True)
+class NodeCrash(Fault):
+    """The node's raylets die and its object copies vanish.
+
+    Purely physical: the control plane is *not* told — with heartbeats
+    enabled it finds out the honest way, after ``miss_threshold`` silent
+    intervals.  ``restart_after`` (relative to the crash) brings the
+    raylets back; they resume beating and get un-suspected.
+    """
+
+    node_id: str = ""
+    restart_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class NetworkPartition(Fault):
+    """Split the cluster into node-id groups; cross-group traffic drops.
+
+    Nodes absent from every group form an implicit remainder group.
+    ``heal_after`` is relative to ``at``; ``None`` never heals.
+    """
+
+    groups: Tuple[Tuple[str, ...], ...] = ()
+    heal_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkDegradation(Fault):
+    """One link's serialization + latency inflate by ``factor`` (>= 1)."""
+
+    a: str = ""
+    b: str = ""
+    factor: float = 1.0
+    duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MessageLoss(Fault):
+    """Seeded Bernoulli drop of control messages at ``rate``."""
+
+    rate: float = 0.0
+    duration: Optional[float] = None
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Straggler(Fault):
+    """One device computes ``factor``× slower (sampled at task launch)."""
+
+    device_id: str = ""
+    factor: float = 1.0
+    duration: Optional[float] = None
+
+
+class ChaosSchedule:
+    """An ordered fault plan, built fluently or drawn from a seed."""
+
+    def __init__(self, faults: Sequence[Fault] = ()):
+        self.faults: List[Fault] = list(faults)
+
+    # -- fluent builders -----------------------------------------------------
+
+    def crash_node(
+        self, at: float, node_id: str, restart_after: Optional[float] = None
+    ) -> "ChaosSchedule":
+        self.faults.append(NodeCrash(at, node_id, restart_after))
+        return self
+
+    def partition(
+        self,
+        at: float,
+        groups: Sequence[Sequence[str]],
+        heal_after: Optional[float] = None,
+    ) -> "ChaosSchedule":
+        frozen = tuple(tuple(sorted(g)) for g in groups)
+        self.faults.append(NetworkPartition(at, frozen, heal_after))
+        return self
+
+    def degrade_link(
+        self, at: float, a: str, b: str, factor: float, duration: Optional[float] = None
+    ) -> "ChaosSchedule":
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        self.faults.append(LinkDegradation(at, a, b, factor, duration))
+        return self
+
+    def lose_messages(
+        self, at: float, rate: float, duration: Optional[float] = None, seed: int = 0
+    ) -> "ChaosSchedule":
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.faults.append(MessageLoss(at, rate, duration, seed))
+        return self
+
+    def slow_device(
+        self, at: float, device_id: str, factor: float, duration: Optional[float] = None
+    ) -> "ChaosSchedule":
+        if factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {factor}")
+        self.faults.append(Straggler(at, device_id, factor, duration))
+        return self
+
+    # -- introspection -------------------------------------------------------
+
+    def ordered(self) -> List[Fault]:
+        """Faults by injection time, ties broken by kind then fields — the
+        order the monkey arms them, and therefore deterministic."""
+        return sorted(self.faults, key=lambda f: (f.at, type(f).__name__, repr(f)))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.ordered())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(repr(f) for f in self.ordered())
+        return f"ChaosSchedule([{inner}])"
+
+    # -- seeded generation ---------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        node_ids: Sequence[str],
+        horizon: float,
+        device_ids: Sequence[str] = (),
+        links: Sequence[Tuple[str, str]] = (),
+        n_crashes: int = 2,
+        n_partitions: int = 1,
+        n_stragglers: int = 1,
+        n_degradations: int = 0,
+        message_loss_rate: float = 0.0,
+        restart_fraction: float = 1.0,
+        straggler_factor: Tuple[float, float] = (4.0, 16.0),
+        degrade_factor: Tuple[float, float] = (2.0, 10.0),
+    ) -> "ChaosSchedule":
+        """A reproducible pseudo-random schedule inside ``(0, horizon)``.
+
+        The same ``(seed, arguments)`` always yields the same schedule; the
+        RNG is local, so interleaving with other random consumers cannot
+        perturb it.
+        """
+        if not node_ids:
+            raise ValueError("need at least one node id to schedule faults")
+        rng = random.Random(seed)
+        sched = cls()
+
+        def when(lo: float = 0.1, hi: float = 0.75) -> float:
+            return round(rng.uniform(lo * horizon, hi * horizon), 9)
+
+        for _ in range(n_crashes):
+            node = rng.choice(list(node_ids))
+            restart = (
+                round(rng.uniform(0.05, 0.25) * horizon, 9)
+                if rng.random() < restart_fraction
+                else None
+            )
+            sched.crash_node(when(), node, restart_after=restart)
+        for _ in range(n_partitions):
+            if len(node_ids) < 2:
+                break
+            k = rng.randint(1, max(1, len(node_ids) // 2))
+            island = rng.sample(list(node_ids), k)
+            sched.partition(when(), [island], heal_after=round(
+                rng.uniform(0.05, 0.2) * horizon, 9
+            ))
+        for _ in range(n_stragglers):
+            if not device_ids:
+                break
+            dev = rng.choice(list(device_ids))
+            factor = round(rng.uniform(*straggler_factor), 3)
+            sched.slow_device(when(), dev, factor, duration=round(
+                rng.uniform(0.1, 0.4) * horizon, 9
+            ))
+        for _ in range(n_degradations):
+            if not links:
+                break
+            a, b = rng.choice(list(links))
+            factor = round(rng.uniform(*degrade_factor), 3)
+            sched.degrade_link(when(), a, b, factor, duration=round(
+                rng.uniform(0.1, 0.4) * horizon, 9
+            ))
+        if message_loss_rate > 0.0:
+            sched.lose_messages(
+                when(0.05, 0.3),
+                message_loss_rate,
+                duration=round(rng.uniform(0.2, 0.5) * horizon, 9),
+                seed=rng.randrange(1 << 30),
+            )
+        return sched

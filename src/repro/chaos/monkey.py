@@ -1,0 +1,154 @@
+"""The chaos monkey: arms a fault schedule against a live runtime.
+
+Injection is *physical*: a :class:`NodeCrash` kills raylets, wipes their
+stores, and interrupts the task attempts running there — and says nothing
+to the control plane.  With heartbeats enabled, recovery is driven end to
+end by detection (suspicion → blacklist → retry → actor reconstruction),
+which is the whole point of the exercise.  Without a failure detector the
+monkey falls back to telling the runtime directly (the pre-chaos
+omniscient path), so chaos schedules still work against legacy configs.
+
+Every injection lands in the runtime's event log as a ``chaos_*`` event,
+so traces show faults next to the recovery storms they trigger and two
+seeded runs can be compared signature-for-signature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, TYPE_CHECKING
+
+from .events import (
+    ChaosSchedule,
+    Fault,
+    LinkDegradation,
+    MessageLoss,
+    NetworkPartition,
+    NodeCrash,
+    Straggler,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.runtime import ServerlessRuntime
+
+__all__ = ["ChaosMonkey"]
+
+
+class ChaosMonkey:
+    """Schedules a :class:`ChaosSchedule`'s faults on the simulator clock."""
+
+    def __init__(self, runtime: "ServerlessRuntime", schedule: ChaosSchedule):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.schedule = schedule
+        self.injected: List[Fault] = []
+        self._armed = False
+        self._reactive_fired: Set[str] = set()
+
+    def arm(self) -> "ChaosMonkey":
+        """Pin every fault to its virtual time; call once, before running."""
+        if self._armed:
+            raise RuntimeError("chaos monkey is already armed")
+        self._armed = True
+        for fault in self.schedule.ordered():
+            self.sim.schedule_at(fault.at, self._inject, fault)
+        return self
+
+    def crash_on_object_ready(
+        self, object_id: str, node_id: str, restart_after: Optional[float] = None
+    ) -> None:
+        """Reactive injection: kill ``node_id`` the instant ``object_id``
+        materializes (fires once).  Useful for racing recovery paths."""
+
+        def hook(ready_oid: str) -> None:
+            key = f"{object_id}->{node_id}"
+            if ready_oid == object_id and key not in self._reactive_fired:
+                self._reactive_fired.add(key)
+                self._inject(NodeCrash(self.sim.now, node_id, restart_after))
+
+        self.runtime.object_ready_hooks.append(hook)
+
+    # -- injection -----------------------------------------------------------
+
+    def _inject(self, fault: Fault) -> None:
+        self.injected.append(fault)
+        if isinstance(fault, NodeCrash):
+            self._crash(fault)
+        elif isinstance(fault, NetworkPartition):
+            self._partition(fault)
+        elif isinstance(fault, LinkDegradation):
+            self._degrade(fault)
+        elif isinstance(fault, MessageLoss):
+            self._lose(fault)
+        elif isinstance(fault, Straggler):
+            self._slow(fault)
+        else:  # pragma: no cover - future fault kinds
+            raise TypeError(f"unknown fault {fault!r}")
+
+    def _crash(self, fault: NodeCrash) -> None:
+        rt = self.runtime
+        rt._record("chaos_node_crash", node=fault.node_id)
+        for raylet in rt._raylets_by_node.get(fault.node_id, []):
+            raylet.fail()
+        # attempts physically running there die with the node; their retry
+        # policy takes it from here
+        rt._interrupt_tasks_on(fault.node_id, "crashed")
+        if rt.health is None:
+            # nobody is listening for heartbeats: only driver fiat remains
+            rt._mark_node_dead(fault.node_id, cause="chaos crash")
+        if fault.restart_after is not None:
+            self.sim.schedule(fault.restart_after, self._restart, fault.node_id)
+
+    def _restart(self, node_id: str) -> None:
+        rt = self.runtime
+        rt._record("chaos_node_restart", node=node_id)
+        for raylet in rt._raylets_by_node.get(node_id, []):
+            raylet.restart()
+        if rt.health is None:
+            rt._on_node_alive(node_id)
+        # with heartbeats: the revived raylets resume beating and the
+        # monitor un-suspects the node on the first delivered beat
+
+    def _partition(self, fault: NetworkPartition) -> None:
+        rt = self.runtime
+        rt._record("chaos_partition", groups=fault.groups)
+        rt.net.partition(*[set(g) for g in fault.groups])
+        if fault.heal_after is not None:
+            self.sim.schedule(fault.heal_after, self._heal)
+
+    def _heal(self) -> None:
+        self.runtime._record("chaos_partition_heal")
+        self.runtime.net.heal_partition()
+
+    def _degrade(self, fault: LinkDegradation) -> None:
+        rt = self.runtime
+        rt._record("chaos_link_degraded", a=fault.a, b=fault.b, factor=fault.factor)
+        rt.net.topology.degrade_link(fault.a, fault.b, fault.factor)
+        if fault.duration is not None:
+            self.sim.schedule(fault.duration, self._restore_link, fault.a, fault.b)
+
+    def _restore_link(self, a: str, b: str) -> None:
+        self.runtime._record("chaos_link_restored", a=a, b=b)
+        self.runtime.net.topology.restore_link(a, b)
+
+    def _lose(self, fault: MessageLoss) -> None:
+        rt = self.runtime
+        rt._record("chaos_message_loss", rate=fault.rate, seed=fault.seed)
+        rt.net.set_message_loss(fault.rate, seed=fault.seed)
+        if fault.duration is not None:
+            self.sim.schedule(fault.duration, self._stop_loss)
+
+    def _stop_loss(self) -> None:
+        self.runtime._record("chaos_message_loss_end")
+        self.runtime.net.set_message_loss(0.0)
+
+    def _slow(self, fault: Straggler) -> None:
+        rt = self.runtime
+        device = rt.cluster.device(fault.device_id)
+        rt._record("chaos_straggler", device=fault.device_id, factor=fault.factor)
+        device.slowdown = fault.factor
+        if fault.duration is not None:
+            self.sim.schedule(fault.duration, self._unslow, fault.device_id)
+
+    def _unslow(self, device_id: str) -> None:
+        self.runtime._record("chaos_straggler_end", device=device_id)
+        self.runtime.cluster.device(device_id).slowdown = 1.0

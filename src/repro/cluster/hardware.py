@@ -149,6 +149,7 @@ class Device:
     device_id: str = ""
     slots: Resource = field(init=False)
     busy_seconds: float = field(init=False, default=0.0)  # slot-seconds burned
+    slowdown: float = field(init=False, default=1.0)  # straggler injection (chaos)
     _mem_used: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -190,9 +191,13 @@ class Device:
         """A process that occupies one slot for the scaled duration.
 
         Includes the device's dispatch overhead; this is the leaf primitive
-        the runtime layers use to burn virtual compute time.
+        the runtime layers use to burn virtual compute time.  ``slowdown``
+        (straggler injection) is sampled at launch time: tasks started
+        while a device is degraded run slow for their whole duration.
         """
-        duration = self.spec.dispatch_overhead + self.spec.scaled_duration(cpu_seconds)
+        duration = self.slowdown * (
+            self.spec.dispatch_overhead + self.spec.scaled_duration(cpu_seconds)
+        )
 
         def _run():
             grant = self.slots.request()

@@ -9,8 +9,9 @@ hop count — the quantity Gen-2 reduces — shows up directly in virtual time.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Tuple
+from typing import Dict, Generator, Iterable, Optional, Tuple
 
 from .simtime import Process, Resource, Simulator
 from .topology import Topology
@@ -27,6 +28,8 @@ class NetworkStats:
     transfers: int = 0
     messages: int = 0
     bytes_moved: int = 0
+    dropped_messages: int = 0
+    blocked_transfers: int = 0
     bytes_by_link: Dict[Tuple[str, str], int] = field(default_factory=dict)
 
     def record(self, hops, nbytes: int, is_message: bool) -> None:
@@ -43,17 +46,78 @@ class NetworkStats:
         self.transfers = 0
         self.messages = 0
         self.bytes_moved = 0
+        self.dropped_messages = 0
+        self.blocked_transfers = 0
         self.bytes_by_link.clear()
 
 
 class Network:
-    """Executes transfers as simulation processes."""
+    """Executes transfers as simulation processes.
+
+    Fault-injection hooks (driven by :mod:`repro.chaos`):
+
+    * **Partitions** — a set of node-id groups; traffic crossing a group
+      boundary is dropped (messages complete with value ``False``,
+      transfers with value ``None``).  Endpoints map to nodes by their
+      ``node_id/...`` prefix; endpoints outside every named group (e.g.
+      the ToR switch) form an implicit extra group.
+    * **Message loss** — a seeded Bernoulli drop applied to control
+      messages only; bulk transfers ride a retransmitting transport and
+      instead see partitions/degradation.
+    * **Degradation** — per-link slowdown factors (see
+      :meth:`Topology.degrade_link`) multiply serialization and
+      propagation time.
+    """
 
     def __init__(self, sim: Simulator, topology: Topology):
         self.sim = sim
         self.topology = topology
         self.stats = NetworkStats()
         self._link_slots: Dict[Tuple[str, str], Resource] = {}
+        self._partition_groups: Tuple[frozenset, ...] = ()
+        self._loss_rate = 0.0
+        self._loss_rng = random.Random(0)
+
+    # -- fault injection hooks ----------------------------------------------
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the cluster: traffic between different groups is dropped.
+
+        ``groups`` are sets of *node ids*.  Nodes not named in any group
+        form one implicit remainder group, so ``partition({"server1"})``
+        isolates server1 from everything else.
+        """
+        self._partition_groups = tuple(frozenset(g) for g in groups)
+
+    def heal_partition(self) -> None:
+        self._partition_groups = ()
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._partition_groups)
+
+    def set_message_loss(self, rate: float, seed: int = 0) -> None:
+        """Drop control messages with probability ``rate`` (seeded, so a
+        given chaos schedule reproduces the identical drop pattern)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self._loss_rate = rate
+        self._loss_rng = random.Random(seed)
+
+    def _endpoint_group(self, endpoint: str) -> int:
+        node = endpoint.split("/", 1)[0]
+        for i, group in enumerate(self._partition_groups):
+            if node in group:
+                return i
+        return -1  # the implicit remainder group
+
+    def crosses_partition(self, src: str, dst: str) -> bool:
+        if not self._partition_groups or src == dst:
+            return False
+        return self._endpoint_group(src) != self._endpoint_group(dst)
+
+    def _hop_factor(self, a: str, b: str) -> float:
+        return self.topology.degradation(a, b)
 
     def _slot(self, a: str, b: str) -> Resource:
         key = tuple(sorted((a, b)))
@@ -66,8 +130,10 @@ class Network:
     def transfer(self, src: str, dst: str, nbytes: int, label: str = "xfer") -> Process:
         """Move ``nbytes`` from ``src`` to ``dst``; returns the process.
 
-        Zero-hop transfers (src == dst) complete after a zero timeout so
-        callers can always ``yield`` the result uniformly.
+        The process value is ``nbytes`` on success, ``None`` when a
+        partition blocked the transfer (callers treat that as a fetch
+        failure and retry).  Zero-hop transfers (src == dst) complete after
+        a zero timeout so callers can always ``yield`` the result uniformly.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
@@ -75,39 +141,68 @@ class Network:
         self.stats.record(hops, nbytes, is_message=False)
 
         def _move() -> Generator:
+            if self.crosses_partition(src, dst):
+                # the sender burns a connect-timeout's worth of first-hop
+                # latency before declaring the peer unreachable
+                self.stats.blocked_transfers += 1
+                if hops:
+                    yield self.sim.timeout(self.topology.link(*hops[0]).latency)
+                return None
             for a, b in hops:
                 link = self.topology.link(a, b)
+                factor = self._hop_factor(a, b)
                 slot = self._slot(a, b)
                 yield slot.request()
                 try:
-                    yield self.sim.timeout(nbytes / link.bandwidth)
+                    yield self.sim.timeout(factor * nbytes / link.bandwidth)
                 finally:
                     slot.release()
-                yield self.sim.timeout(link.latency)
+                yield self.sim.timeout(factor * link.latency)
             return nbytes
 
         return self.sim.process(_move(), name=f"net:{label}:{src}->{dst}")
 
     def message(self, src: str, dst: str, label: str = "msg") -> Process:
-        """A small control-plane message (fixed frame, latency-dominated)."""
+        """A small control-plane message (fixed frame, latency-dominated).
+
+        The process value is ``True`` when the message arrived, ``False``
+        when chaos dropped it (loss or partition).  Callers that predate
+        fault injection ignore the value; delivery-sensitive protocols
+        (heartbeats, leases) check it.
+        """
         hops = self.topology.route(src, dst)
         self.stats.record(hops, CONTROL_MSG_BYTES, is_message=True)
+        dropped = self.crosses_partition(src, dst) or (
+            self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate
+        )
 
         def _send() -> Generator:
+            if dropped:
+                self.stats.dropped_messages += 1
+                if hops:
+                    yield self.sim.timeout(
+                        self.topology.link(*hops[0]).transfer_time(CONTROL_MSG_BYTES)
+                    )
+                return False
             for a, b in hops:
                 link = self.topology.link(a, b)
-                yield self.sim.timeout(link.transfer_time(CONTROL_MSG_BYTES))
-            return None
+                yield self.sim.timeout(
+                    self._hop_factor(a, b) * link.transfer_time(CONTROL_MSG_BYTES)
+                )
+            return True
 
         return self.sim.process(_send(), name=f"net:{label}:{src}->{dst}")
 
     def rpc(self, src: str, dst: str, label: str = "rpc") -> Process:
-        """Request/response control-message pair (two one-way messages)."""
+        """Request/response control-message pair (two one-way messages).
+
+        The process value is ``True`` only when both legs were delivered.
+        """
 
         def _roundtrip() -> Generator:
-            yield self.message(src, dst, label=f"{label}:req")
-            yield self.message(dst, src, label=f"{label}:rsp")
-            return None
+            req_ok = yield self.message(src, dst, label=f"{label}:req")
+            rsp_ok = yield self.message(dst, src, label=f"{label}:rsp")
+            return bool(req_ok and rsp_ok)
 
         return self.sim.process(_roundtrip(), name=f"net:{label}:{src}<->{dst}")
 

@@ -327,6 +327,15 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._queue, _ScheduledEvent(self._now + delay, self._seq, fn, args))
 
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn`` at an *absolute* virtual time.
+
+        Chaos schedules are authored in absolute time ("crash server1 at
+        t=0.5"); this clamps events whose time already passed to "now"
+        rather than raising, so a schedule can be attached mid-run.
+        """
+        self.schedule(max(0.0, when - self._now), fn, *args)
+
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name=name)
 

@@ -45,6 +45,7 @@ class Topology:
     def __init__(self) -> None:
         self._adj: Dict[str, Dict[str, LinkSpec]] = {}
         self._route_cache: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+        self._degraded: Dict[Tuple[str, str], float] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -76,6 +77,31 @@ class Topology:
 
     def neighbors(self, endpoint: str) -> Iterable[str]:
         return self._adj.get(endpoint, {}).keys()
+
+    # -- fault injection hooks ----------------------------------------------
+
+    def degrade_link(self, a: str, b: str, factor: float) -> None:
+        """Slow the ``a<->b`` link by ``factor`` (>= 1.0).
+
+        Degradation multiplies serialization and propagation time charged by
+        the network layer; routing still uses the healthy latencies (real
+        routing tables do not react instantly to a flaky cable either).
+        """
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1.0, got {factor}")
+        self.link(a, b)  # raises KeyError for unknown links
+        key = tuple(sorted((a, b)))
+        if factor == 1.0:
+            self._degraded.pop(key, None)
+        else:
+            self._degraded[key] = factor
+
+    def restore_link(self, a: str, b: str) -> None:
+        self._degraded.pop(tuple(sorted((a, b))), None)
+
+    def degradation(self, a: str, b: str) -> float:
+        """Current slowdown factor for one hop (1.0 = healthy)."""
+        return self._degraded.get(tuple(sorted((a, b))), 1.0)
 
     # -- routing -----------------------------------------------------------
 

@@ -8,6 +8,8 @@ fault tolerance.
 """
 
 from .config import Generation, ResolutionMode, RuntimeConfig, SchedulingPolicy
+from .events import EventLog, RuntimeEvent
+from .health import HeartbeatMonitor
 from .ids import IdGenerator
 from .lineage import LineageGraph, UnrecoverableObjectError
 from .local import LocalActorHandle, LocalRuntime
@@ -17,6 +19,7 @@ from .ownership import OwnershipEntry, OwnershipTable, ValueState
 from .raylet import Raylet
 from .runtime import (
     ActorHandle,
+    GetTimeoutError,
     ServerlessRuntime,
     TaskError,
     TaskTimeline,
@@ -47,6 +50,10 @@ __all__ = [
     "ServerlessRuntime",
     "ActorHandle",
     "TaskError",
+    "GetTimeoutError",
+    "HeartbeatMonitor",
+    "EventLog",
+    "RuntimeEvent",
     "TaskTimeline",
     "make_reliable_cache",
     "Scheduler",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["Generation", "ResolutionMode", "SchedulingPolicy", "RuntimeConfig"]
 
@@ -36,6 +37,32 @@ class RuntimeConfig:
     # fault tolerance: lineage replay is always available; a reliable cache
     # (replication/EC) can be layered on via ``reliable_cache``.
     max_lineage_replays: int = 32
+    # -- retry policy (transient failures: interrupts, lost leases, fetch
+    # failures).  Backoff is exponential with deterministic per-attempt
+    # jitter so reruns of a seeded chaos schedule are bit-identical.
+    max_retries: int = 4
+    retry_backoff_base: float = 1e-3  # seconds before the first retry
+    retry_backoff_factor: float = 2.0
+    retry_jitter: float = 0.25  # +- fraction of the backoff, hashed from (task, attempt)
+    # execution watchdog: interrupt + retry a task attempt that has not
+    # finished this long after dispatch (None disables)
+    task_timeout: Optional[float] = None
+    # speculative re-execution: launch a second copy of a task on another
+    # device once an attempt exceeds ``speculation_factor`` x its expected
+    # duration (None disables; actor tasks are never speculated)
+    speculation_factor: Optional[float] = None
+    # -- failure detection: raylets emit heartbeats over the simulated
+    # network every ``heartbeat_interval`` virtual seconds (None disables,
+    # leaving only the omniscient ``fail_node`` driver path); a node is
+    # suspected dead after ``heartbeat_miss_threshold`` silent intervals.
+    heartbeat_interval: Optional[float] = None
+    heartbeat_miss_threshold: int = 3
+    # -- actor reconstruction: checkpoint actor state into the reliable
+    # cache every N completed method calls (0 disables).  A checkpointed
+    # actor restarts on a surviving node when its home dies; methods are
+    # at-least-once across a restart (calls after the last checkpoint
+    # may re-execute), so recoverable actors should be idempotent.
+    actor_checkpoint_every: int = 1
     # accounting
     track_task_timeline: bool = True
 

@@ -1,0 +1,152 @@
+"""Heartbeat-based failure detection over the simulated network.
+
+Before this module existed, the only failure path was an omniscient driver
+calling ``fail_node()`` — the runtime learned of a death by fiat, for free,
+instantly.  Real control planes pay for that knowledge: raylets emit
+periodic heartbeats, the GCS counts silent intervals, and recovery starts
+only after K missed beats — which is exactly why detection latency shows up
+in recovery tail latency (Ray's design, and the knob the chaos soak sweeps).
+
+Mechanics:
+
+* one **sender** process per compute node sends a heartbeat control message
+  from the node's raylet endpoint to the GCS endpoint every ``interval``
+  virtual seconds.  Heartbeats travel the simulated network: they pay hop
+  latency, count in ``NetworkStats.messages``, and can be dropped by chaos
+  (loss or partition).  A crashed raylet stops beating — there is no
+  side-channel.
+* one **monitor** process on the GCS marks a node *suspected* after
+  ``miss_threshold`` intervals without an arrival and tells the runtime,
+  which blacklists the node, drops its object locations, interrupts its
+  in-flight tasks, and reconstructs its actors.
+* a beat arriving from a suspected node (a healed partition, a restarted
+  raylet) clears the suspicion and un-blacklists the node.
+
+The loops run only while the runtime has open tasks (otherwise they would
+keep the event queue non-empty forever and ``sim.run()`` would never
+drain); a stall guard stops the monitor if nothing has made progress for a
+long time so an unrecoverable cluster still surfaces its error instead of
+spinning.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import ServerlessRuntime
+
+__all__ = ["HeartbeatMonitor"]
+
+# monitor ticks without any task progress before the detector parks itself
+STALL_TICKS = 200
+
+
+class HeartbeatMonitor:
+    """The GCS-side failure detector plus per-node heartbeat senders."""
+
+    def __init__(
+        self,
+        runtime: "ServerlessRuntime",
+        interval: float,
+        miss_threshold: int = 3,
+    ):
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be > 0, got {interval}")
+        if miss_threshold < 1:
+            raise ValueError(f"miss threshold must be >= 1, got {miss_threshold}")
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.net = runtime.net
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.last_seen: Dict[str, float] = {}
+        self.suspected: Set[str] = set()
+        self.beats_received = 0
+        self.beats_sent = 0
+        self._active = False
+        self._epoch = 0  # loops from an earlier activation exit on mismatch
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def monitored_nodes(self) -> List[str]:
+        return sorted(
+            node_id
+            for node_id, raylets in self.runtime._raylets_by_node.items()
+            if raylets
+        )
+
+    def ensure_running(self) -> None:
+        """Start (or restart) detection; called whenever work is submitted."""
+        if self._active:
+            return
+        self._active = True
+        self._epoch += 1
+        epoch = self._epoch
+        now = self.sim.now
+        for node_id in self.monitored_nodes():
+            # fresh grace period for healthy nodes so an idle gap between
+            # jobs is not mistaken for silence; suspected nodes must earn
+            # their way back with a real heartbeat
+            if node_id not in self.suspected:
+                self.last_seen[node_id] = now
+            self.sim.process(self._sender_loop(node_id, epoch), name=f"hb:{node_id}")
+        self.sim.process(self._monitor_loop(epoch), name="hb:monitor")
+
+    # -- the wire protocol ---------------------------------------------------
+
+    def _sender_loop(self, node_id: str, epoch: int) -> Generator:
+        raylets = self.runtime._raylets_by_node[node_id]
+        endpoint = raylets[0].endpoint
+        while (
+            self._active
+            and self._epoch == epoch
+            and self.runtime._has_pending_work()
+        ):
+            yield self.sim.timeout(self.interval)
+            if not any(r.alive for r in raylets):
+                continue  # a dead raylet does not beat; silence is the signal
+            self.beats_sent += 1
+            delivered = yield self.net.message(
+                endpoint, self.runtime.gcs_endpoint, label="heartbeat"
+            )
+            if delivered:
+                self._beat(node_id)
+
+    def _beat(self, node_id: str) -> None:
+        self.beats_received += 1
+        self.last_seen[node_id] = self.sim.now
+        if node_id in self.suspected:
+            self.suspected.discard(node_id)
+            self.runtime._record("node_unsuspected", node=node_id)
+            self.runtime._on_node_alive(node_id)
+
+    def _monitor_loop(self, epoch: int) -> Generator:
+        deadline = self.miss_threshold * self.interval
+        stall = 0
+        progress = self.runtime._progress_counter()
+        while self._epoch == epoch and self.runtime._has_pending_work():
+            yield self.sim.timeout(self.interval)
+            now = self.sim.now
+            for node_id in self.monitored_nodes():
+                if node_id in self.suspected:
+                    continue
+                silent_for = now - self.last_seen.get(node_id, 0.0)
+                if silent_for > deadline:
+                    self.suspected.add(node_id)
+                    self.runtime._record(
+                        "node_suspected",
+                        node=node_id,
+                        silent_for=round(silent_for, 9),
+                    )
+                    self.runtime._mark_node_dead(node_id, cause="missed heartbeats")
+            latest = self.runtime._progress_counter()
+            stall = stall + 1 if latest == progress else 0
+            progress = latest
+            if stall >= STALL_TICKS:
+                # nothing is moving: park the detector so the simulation can
+                # drain and the driver sees the underlying error
+                self.runtime._record("detector_stalled", ticks=stall)
+                break
+        if self._epoch == epoch:
+            self._active = False

@@ -51,6 +51,8 @@ class Raylet:
         self.control_slot = Resource(sim, capacity=1, name=f"ctrl:{self.raylet_id}")
         self.control_actions = 0
         self.alive = True
+        self.incarnation = 0  # bumped on every restart (stale-lease detection)
+        self.failures = 0
 
     @property
     def raylet_id(self) -> str:
@@ -101,11 +103,15 @@ class Raylet:
 
     def fail(self) -> None:
         """Node failure: all local object copies vanish."""
+        if self.alive:
+            self.failures += 1
         self.alive = False
         for store in self.stores.values():
             store.clear()
 
     def restart(self) -> None:
+        if not self.alive:
+            self.incarnation += 1
         self.alive = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

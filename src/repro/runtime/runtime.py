@@ -14,6 +14,8 @@ and performance shapes.
 
 from __future__ import annotations
 
+import copy
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Generator, List, Optional, Sequence, Tuple
 
@@ -25,6 +27,8 @@ from ..cluster.hardware import Device, DeviceKind
 from ..cluster.node import NodeKind
 from ..cluster.simtime import Interrupt, Signal
 from .config import Generation, ResolutionMode, RuntimeConfig, SchedulingPolicy
+from .events import EventLog, RuntimeEvent
+from .health import HeartbeatMonitor
 from .ids import IdGenerator
 from .lineage import LineageGraph, UnrecoverableObjectError
 from .object_ref import ObjectRef, collect_refs, replace_refs
@@ -34,13 +38,30 @@ from .raylet import Raylet
 from .scheduler import PlacementError, Scheduler
 from .task import ANY_COMPUTE_KIND, ActorSpec, TaskSpec, TaskState
 
-__all__ = ["ServerlessRuntime", "ActorHandle", "TaskError", "TaskTimeline"]
+__all__ = [
+    "ServerlessRuntime",
+    "ActorHandle",
+    "TaskError",
+    "GetTimeoutError",
+    "TaskTimeline",
+]
 
 DRIVER = "driver"
+
+ACTOR_CHECKPOINT_PREFIX = "__actor__/"
 
 
 class TaskError(RuntimeError):
     """A task payload raised; surfaces at ``get``."""
+
+
+class GetTimeoutError(TimeoutError):
+    """``get(timeout=...)`` expired with refs still unresolved."""
+
+
+class _TransientTaskError(Exception):
+    """An attempt-level protocol failure (lost lease, failed fetch) that the
+    retry policy — not the application — should absorb."""
 
 
 @dataclass
@@ -71,7 +92,7 @@ class _TaskCtx:
 
     __slots__ = (
         "spec", "ref", "device", "raylet", "done", "state", "timeline",
-        "error", "replays", "proc",
+        "error", "replays", "proc", "attempt", "retries", "twin", "is_clone",
     )
 
     def __init__(self, spec: TaskSpec, ref: ObjectRef, done: Signal):
@@ -85,6 +106,10 @@ class _TaskCtx:
         self.error: Optional[str] = None
         self.replays = 0
         self.proc = None
+        self.attempt = 0  # bumped per dispatch (watchdogs key off this)
+        self.retries = 0  # transient-failure retries consumed
+        self.twin: Optional["_TaskCtx"] = None  # speculative copy, if any
+        self.is_clone = False
 
 
 class _ActorLock:
@@ -118,7 +143,12 @@ class ActorHandle:
     def __init__(self, runtime: "ServerlessRuntime", actor_id: str, device_id: str):
         self._runtime = runtime
         self.actor_id = actor_id
-        self.device_id = device_id
+        self._initial_device_id = device_id
+
+    @property
+    def device_id(self) -> str:
+        """The actor's *current* home — reconstruction may move it."""
+        return self._runtime._actor_device.get(self.actor_id, self._initial_device_id)
 
     def call(
         self,
@@ -190,10 +220,27 @@ class ServerlessRuntime:
         self._actor_locks: Dict[str, "Signal"] = {}
         self._actor_queues: Dict[str, List] = {}
         self._actor_device: Dict[str, str] = {}
+        self._actor_kinds: Dict[str, FrozenSet[DeviceKind]] = {}
+        self._actor_calls: Dict[str, int] = {}  # completed methods (ckpt cadence)
         self._dead_actors: Dict[str, str] = {}  # actor_id -> cause
+        self._dead_nodes: set = set()  # control-plane view (detected/declared)
+        self.actor_restarts = 0
         self.timelines: List[TaskTimeline] = []
         self.tasks_finished = 0
         self.tasks_failed = 0
+        self.tasks_retried = 0
+        self._open_tasks = 0  # not yet FINISHED/FAILED (heartbeat liveness)
+        self.log = EventLog()
+        # observers poked whenever an object becomes ready (chaos uses this
+        # for reactive fault injection: "kill the node when X materializes")
+        self.object_ready_hooks: List[Callable[[str], None]] = []
+        self.health: Optional[HeartbeatMonitor] = None
+        if self.config.heartbeat_interval is not None:
+            self.health = HeartbeatMonitor(
+                self,
+                self.config.heartbeat_interval,
+                self.config.heartbeat_miss_threshold,
+            )
 
     # -- construction ----------------------------------------------------------
 
@@ -246,7 +293,37 @@ class ServerlessRuntime:
 
     def _device_alive(self, device_id: str) -> bool:
         raylet = self._raylet_of_device.get(device_id)
-        return raylet is not None and raylet.alive
+        if raylet is None or self.scheduler.is_blacklisted(device_id):
+            return False
+        if self.health is not None:
+            # with a failure detector, the control plane only knows what the
+            # heartbeats told it — no peeking at the physical alive bit
+            return True
+        return raylet.alive
+
+    # -- event log / liveness -----------------------------------------------
+
+    def _record(self, kind: str, **detail: Any) -> RuntimeEvent:
+        return self.log.record(self.sim.now, kind, **detail)
+
+    @property
+    def events(self) -> List[RuntimeEvent]:
+        return self.log.events
+
+    def _has_pending_work(self) -> bool:
+        """True while any task is neither finished nor permanently failed
+        (drives the heartbeat loops' lifetime)."""
+        return self._open_tasks > 0
+
+    def _progress_counter(self) -> Tuple[int, ...]:
+        """A cheap fingerprint of forward progress for the stall guard."""
+        return (
+            self.tasks_finished,
+            self.tasks_failed,
+            self.tasks_retried,
+            self.lineage.replays,
+            self.actor_restarts,
+        )
 
     def _find_store_with(self, object_id: str) -> Optional[LocalObjectStore]:
         entry = self.ownership.entry(object_id)
@@ -278,12 +355,20 @@ class ServerlessRuntime:
         return ObjectRef(oid, owner=DRIVER)
 
     def get(self, refs, timeout: Optional[float] = None) -> Any:
-        """Block the driver until ref(s) resolve; returns real value(s)."""
+        """Block the driver until ref(s) resolve; returns real value(s).
+
+        ``timeout`` is *relative* to the current virtual time; when it
+        expires with refs still unresolved, :class:`GetTimeoutError` is
+        raised (the refs stay valid — a later ``get`` can still resolve
+        them once their producers finish).
+        """
         single = isinstance(refs, ObjectRef)
         ref_list: List[ObjectRef] = [refs] if single else list(refs)
+        deadline = None if timeout is None else self.sim.now + timeout
         for attempt in range(self.config.max_lineage_replays + 1):
-            self.sim.run(until=timeout)
+            self.sim.run(until=deadline)
             lost = []
+            unresolved = []
             for ref in ref_list:
                 ctx = self._ctx_of_object.get(ref.object_id)
                 if ctx is not None and ctx.state == TaskState.FAILED:
@@ -295,7 +380,9 @@ class ServerlessRuntime:
                 entry = self.ownership.entry(ref.object_id)
                 if entry.state == ValueState.LOST:
                     lost.append(ref)
+                    unresolved.append(ref)
                 elif entry.state == ValueState.PENDING:
+                    unresolved.append(ref)
                     if ctx is None:
                         raise KeyError(
                             f"object {ref.object_id!r} pending with no producing task"
@@ -306,6 +393,17 @@ class ServerlessRuntime:
                             f"task {failed.spec.task_id} ({failed.spec.name}) "
                             f"failed upstream of {ref.object_id}: {failed.error}"
                         )
+                    # a pending target may be stuck behind a LOST input (the
+                    # producing task sits in the waiting queue); recover the
+                    # lost ancestors so the pipeline can resume
+                    for upstream in self._find_lost_upstream(ref.object_id, set()):
+                        if upstream not in [r.object_id for r in lost]:
+                            lost.append(ObjectRef(upstream))
+            if deadline is not None and unresolved and self.sim.now >= deadline:
+                raise GetTimeoutError(
+                    f"{len(unresolved)}/{len(ref_list)} refs unresolved after "
+                    f"timeout={timeout} (virtual time {self.sim.now:.6f})"
+                )
             if not lost:
                 break
             for ref in lost:
@@ -351,6 +449,26 @@ class ServerlessRuntime:
             if found is not None:
                 return found
         return None
+
+    def _find_lost_upstream(self, object_id: str, visited: set) -> List[str]:
+        """Object ids in LOST state anywhere upstream of a pending object
+        (its producer is parked in the waiting queue behind them)."""
+        if object_id in visited:
+            return []
+        visited.add(object_id)
+        if (
+            self.ownership.contains(object_id)
+            and self.ownership.entry(object_id).state == ValueState.LOST
+        ):
+            return [object_id]
+        ctx = self._ctx_of_object.get(object_id)
+        spec = ctx.spec if ctx is not None else self.lineage.producer(object_id)
+        if spec is None:
+            return []
+        lost: List[str] = []
+        for dep in spec.dependencies:
+            lost.extend(self._find_lost_upstream(dep.object_id, visited))
+        return lost
 
     def _read_value(self, ref: ObjectRef) -> Any:
         store = self._find_store_with(ref.object_id)
@@ -400,6 +518,7 @@ class ServerlessRuntime:
         ctx.timeline.submitted = self.sim.now
         self._ctxs[spec.task_id] = ctx
         self._ctx_of_object[oid] = ctx
+        self._open_tasks += 1
         if spec.gang_group is not None:
             self._gangs.setdefault(spec.gang_group, []).append(ctx)
             return ref
@@ -419,6 +538,8 @@ class ServerlessRuntime:
 
     def _route(self, ctx: _TaskCtx, preplaced: bool = False) -> None:
         """Decide when to dispatch, per resolution mode."""
+        if self.health is not None:
+            self.health.ensure_running()
         if self.config.resolution == ResolutionMode.PUSH:
             # Eager: place now, subscribe to inputs, raylet waits for pushes.
             self._dispatch(ctx, preplaced=preplaced)
@@ -432,25 +553,44 @@ class ServerlessRuntime:
         return all(self.ownership.is_ready(r.object_id) for r in spec.dependencies)
 
     def _dispatch(self, ctx: _TaskCtx, preplaced: bool = False) -> None:
+        spec = ctx.spec
+        if spec.actor_id is not None:
+            # reconstruction may have re-homed the actor since submission
+            home = self._actor_device.get(spec.actor_id)
+            if home is not None:
+                spec.pinned_device = home
         if not preplaced or ctx.device is None:
-            ctx.device = self.scheduler.place(ctx.spec)
+            ctx.device = self.scheduler.place(spec)
             # skip dead devices
             if not self._device_alive(ctx.device.device_id):
                 live = [
                     d
-                    for d in self.scheduler.candidates(ctx.spec)
+                    for d in self.scheduler.candidates(spec)
                     if self._device_alive(d.device_id)
                 ]
                 if not live:
                     raise PlacementError(
-                        f"no live device for task {ctx.spec.task_id}"
+                        f"no live device for task {spec.task_id}"
                     )
                 ctx.device = live[0]
         ctx.raylet = self.raylet_for_device(ctx.device.device_id)
         ctx.state = TaskState.SCHEDULED
+        ctx.attempt += 1
         if self.config.resolution == ResolutionMode.PUSH:
             self._register_subscriptions(ctx)
-        ctx.proc = self.sim.process(self._run_task(ctx), name=f"task:{ctx.spec.task_id}")
+        ctx.proc = self.sim.process(self._run_task(ctx), name=f"task:{spec.task_id}")
+        if self.config.task_timeout is not None:
+            self.sim.process(
+                self._timeout_watch(ctx, ctx.attempt), name=f"ttl:{spec.task_id}"
+            )
+        if (
+            self.config.speculation_factor is not None
+            and spec.actor_id is None  # actors are stateful: never speculate
+            and not ctx.is_clone
+        ):
+            self.sim.process(
+                self._speculation_watch(ctx, ctx.attempt), name=f"spy:{spec.task_id}"
+            )
 
     # -- push-mode plumbing ----------------------------------------------------------
 
@@ -521,17 +661,17 @@ class ServerlessRuntime:
             entry = self.ownership.entry(ref.object_id)
         else:
             # 1. location lookup round-trip to the GCS
-            yield self.net.rpc(raylet.endpoint, self.gcs_endpoint, label="locate")
+            located = yield self.net.rpc(
+                raylet.endpoint, self.gcs_endpoint, label="locate"
+            )
+            if located is False:
+                return  # chaos ate the lookup; the caller treats it as a miss
             entry = self.ownership.entry(ref.object_id)
             if entry.state != ValueState.READY:
-                raise UnrecoverableObjectError(
-                    f"pull of {ref.object_id!r} in state {entry.state.value}"
-                )
+                return  # lost/pending: surfaces as a transient fetch failure
             src_store = self._find_store_with(ref.object_id)
             if src_store is None:
-                raise UnrecoverableObjectError(
-                    f"{ref.object_id!r} marked ready but no live copy found"
-                )
+                return  # marked ready but no live copy — same story
             # 2. pull request round-trip to the source raylet (+ its handling
             # cost); spilled objects are served by the blade controller
             src_raylet = self._raylet_of_device.get(src_store.device.device_id)
@@ -540,16 +680,20 @@ class ServerlessRuntime:
                 if src_raylet is not None
                 else src_store.device.device_id
             )
-            yield self.net.rpc(raylet.endpoint, src_endpoint, label="pullreq")
+            asked = yield self.net.rpc(raylet.endpoint, src_endpoint, label="pullreq")
+            if asked is False:
+                return
             if src_raylet is not None:
                 yield src_raylet.control()
         # 3. bulk data transfer to the consumer device
-        yield self.net.transfer(
+        moved = yield self.net.transfer(
             src_store.device.device_id,
             ctx.device.device_id,
             entry.nbytes,
             label=f"pull:{ref.object_id}",
         )
+        if moved is None and src_store.device.device_id != ctx.device.device_id:
+            return  # a partition blocked the bulk fetch
         dst_store = raylet.store_of(ctx.device.device_id)
         if not dst_store.contains(ref.object_id):
             dst_store.put(ref.object_id, src_store.get(ref.object_id).value, entry.nbytes)
@@ -560,9 +704,17 @@ class ServerlessRuntime:
     def _run_task(self, ctx: _TaskCtx) -> Generator:
         spec, device, raylet = ctx.spec, ctx.device, ctx.raylet
         assert device is not None and raylet is not None
+        acquired_actor = False
+        counted_started = False
         try:
-            # 1. lease travels scheduler -> raylet; raylet handles it
-            yield self.net.message(self.scheduler.endpoint, raylet.endpoint, label="lease")
+            # 1. lease travels scheduler -> raylet; raylet handles it.  A
+            # dropped lease, or a raylet that died before handling it, is a
+            # transient failure the retry policy absorbs.
+            delivered = yield self.net.message(
+                self.scheduler.endpoint, raylet.endpoint, label="lease"
+            )
+            if delivered is False or not raylet.alive:
+                raise _TransientTaskError("lease lost in transit")
             yield raylet.control()
             ctx.timeline.dispatched = self.sim.now
             ctx.state = TaskState.RESOLVING
@@ -586,6 +738,15 @@ class ServerlessRuntime:
                             for ref in missing
                         ]
                     )
+                    still_missing = [
+                        ref
+                        for ref in missing
+                        if not local_store.contains(ref.object_id)
+                    ]
+                    if still_missing:
+                        raise _TransientTaskError(
+                            f"failed to fetch {len(still_missing)} argument(s)"
+                        )
             else:
                 sigs = [
                     self._arrival_signal(ref.object_id, device.device_id)
@@ -603,18 +764,39 @@ class ServerlessRuntime:
             # 3. actor serialization, if any
             if spec.actor_id is not None:
                 yield self._actor_acquire(spec.actor_id)
+                acquired_actor = True
             try:
                 # 4. burn device time, then run the real payload
                 ctx.state = TaskState.RUNNING
                 self.scheduler.task_started(device.device_id)
+                counted_started = True
                 started_proc = device.execute(spec.compute_cost, label=spec.name)
                 ctx.timeline.started = self.sim.now
                 yield started_proc
+                if not raylet.alive:
+                    raise _TransientTaskError("raylet died during execution")
                 value, nbytes = self._execute_payload(ctx)
+                if spec.actor_id is not None and self.reliable_cache is not None:
+                    self._actor_calls[spec.actor_id] = (
+                        self._actor_calls.get(spec.actor_id, 0) + 1
+                    )
+                    cadence = max(1, self.config.actor_checkpoint_every)
+                    if self._actor_calls[spec.actor_id] % cadence == 0:
+                        yield from self._checkpoint_actor(spec.actor_id)
             finally:
-                if spec.actor_id is not None:
+                if acquired_actor:
                     self._actor_release(spec.actor_id)
-                self.scheduler.task_finished(device.device_id)
+                if counted_started:
+                    self.scheduler.task_finished(device.device_id)
+
+            # a speculative twin (or a lineage replay) may have committed the
+            # result while we ran; first commit wins, the rest stand down
+            main = self._ctxs.get(spec.task_id, ctx)
+            if (
+                main.state in (TaskState.FINISHED, TaskState.FAILED)
+                or self.ownership.is_ready(ctx.ref.object_id)
+            ):
+                return
 
             # 5. store the output locally
             store = raylet.store_of(device.device_id)
@@ -637,7 +819,21 @@ class ServerlessRuntime:
             ctx.state = TaskState.FINISHED
             ctx.timeline.finished = self.sim.now
             ctx.timeline.device_id = device.device_id
+            if main is not ctx:  # a clone won: reflect completion on the main ctx
+                main.state = TaskState.FINISHED
+                main.timeline.finished = self.sim.now
+                main.timeline.device_id = device.device_id
+            loser = main.twin if ctx is main else main
+            main.twin = None
+            if (
+                loser is not None
+                and loser.proc is not None
+                and loser.state
+                in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
+            ):
+                loser.proc.interrupt("speculative twin won")
             self.tasks_finished += 1
+            self._open_tasks = max(0, self._open_tasks - 1)
             if self.config.track_task_timeline:
                 self.timelines.append(ctx.timeline)
 
@@ -649,26 +845,175 @@ class ServerlessRuntime:
                         name=f"push:{ctx.ref.object_id}",
                     )
             self._on_object_ready(ctx.ref.object_id)
-            ctx.done.succeed()
-        except Interrupt:
-            # node died under us: resubmit elsewhere
-            ctx.replays += 1
-            if ctx.replays > self.config.max_lineage_replays:
-                ctx.state = TaskState.FAILED
-                ctx.error = "interrupted too many times"
-                ctx.done.succeed()
+            if not main.done.triggered:
+                main.done.succeed()
+        except Interrupt as intr:
+            if ctx.is_clone:
+                return  # backup copy: the original (or the winner) carries on
+            main = self._ctxs.get(spec.task_id, ctx)
+            if (
+                main.state in (TaskState.FINISHED, TaskState.FAILED)
+                or self.ownership.is_ready(ctx.ref.object_id)
+            ):
+                return  # interrupted after the result already committed
+            self._retry_or_fail(ctx, cause=str(intr.cause or "interrupted"))
+        except _TransientTaskError as exc:
+            if ctx.is_clone:
                 return
-            ctx.device = None
-            ctx.raylet = None
-            ctx.state = TaskState.PENDING
-            self._route(ctx)
-        except Exception as exc:  # payload or protocol error
+            main = self._ctxs.get(spec.task_id, ctx)
+            if (
+                main.state in (TaskState.FINISHED, TaskState.FAILED)
+                or self.ownership.is_ready(ctx.ref.object_id)
+            ):
+                return
+            self._retry_or_fail(ctx, cause=str(exc))
+        except Exception as exc:  # payload error: permanent, not retried
             if isinstance(exc, (UnrecoverableObjectError, PlacementError)):
                 raise
-            ctx.state = TaskState.FAILED
-            ctx.error = f"{type(exc).__name__}: {exc}"
-            self.tasks_failed += 1
+            if ctx.is_clone:
+                return  # the original will hit (and report) the same error
+            self._fail_ctx(ctx, f"{type(exc).__name__}: {exc}")
+
+    # -- retries, timeouts & speculation ------------------------------------
+
+    def _backoff_delay(self, ctx: _TaskCtx) -> float:
+        """Exponential backoff with deterministic jitter (hashed, not drawn
+        from a shared RNG, so retry timing never depends on event order)."""
+        base = self.config.retry_backoff_base * (
+            self.config.retry_backoff_factor ** max(0, ctx.retries - 1)
+        )
+        digest = hashlib.md5(f"{ctx.spec.task_id}:{ctx.retries}".encode()).hexdigest()
+        frac = int(digest[:8], 16) / 0xFFFFFFFF
+        return base * (1.0 + self.config.retry_jitter * frac)
+
+    def _retry_or_fail(self, ctx: _TaskCtx, cause: str) -> None:
+        ctx.retries += 1
+        ctx.device = None
+        ctx.raylet = None
+        ctx.proc = None
+        ctx.state = TaskState.PENDING
+        if ctx.retries > self.config.max_retries:
+            self._fail_ctx(
+                ctx, f"gave up after {self.config.max_retries} retries: {cause}"
+            )
+            return
+        self.tasks_retried += 1
+        delay = self._backoff_delay(ctx)
+        self._record(
+            "task_retry",
+            task=ctx.spec.task_id,
+            name=ctx.spec.name,
+            retry=ctx.retries,
+            cause=cause,
+        )
+        self.sim.schedule(delay, self._requeue, ctx)
+
+    def _requeue(self, ctx: _TaskCtx) -> None:
+        if ctx.state != TaskState.PENDING:
+            return  # the race resolved while we backed off (twin won, failed)
+        if self.ownership.is_ready(ctx.ref.object_id):
+            return
+        if ctx.spec.actor_id is not None and not self._ensure_actor_home(ctx):
+            cause = self._dead_actors.get(ctx.spec.actor_id, "unknown")
+            self._fail_ctx(ctx, f"actor {ctx.spec.actor_id} is dead: {cause}")
+            return
+        try:
+            self._route(ctx)
+        except PlacementError as exc:
+            self._retry_or_fail(ctx, cause=str(exc))
+
+    def _fail_ctx(self, ctx: _TaskCtx, error: str) -> None:
+        ctx.state = TaskState.FAILED
+        ctx.error = error
+        self.tasks_failed += 1
+        self._open_tasks = max(0, self._open_tasks - 1)
+        self._record(
+            "task_failed", task=ctx.spec.task_id, name=ctx.spec.name, error=error
+        )
+        if not ctx.done.triggered:
             ctx.done.succeed()
+
+    def _timeout_watch(self, ctx: _TaskCtx, attempt: int) -> Generator:
+        """Interrupt an attempt that outlives ``task_timeout`` (it will be
+        retried elsewhere by the normal transient-failure path)."""
+        yield self.sim.timeout(self.config.task_timeout)
+        if (
+            ctx.attempt == attempt
+            and ctx.state
+            in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
+            and not self.ownership.is_ready(ctx.ref.object_id)
+            and ctx.proc is not None
+        ):
+            self._record("task_timeout", task=ctx.spec.task_id, attempt=attempt)
+            ctx.proc.interrupt("execution timeout")
+
+    def _speculation_watch(self, ctx: _TaskCtx, attempt: int) -> Generator:
+        """After ``speculation_factor`` × the expected runtime, launch a
+        backup copy on a different device — the straggler mitigation."""
+        assert ctx.device is not None
+        spec_dev = ctx.device.spec
+        expected = spec_dev.dispatch_overhead + spec_dev.scaled_duration(
+            ctx.spec.compute_cost
+        )
+        yield self.sim.timeout(self.config.speculation_factor * max(expected, 1e-9))
+        if (
+            ctx.attempt != attempt
+            or ctx.twin is not None
+            or self._ctxs.get(ctx.spec.task_id) is not ctx
+            or ctx.state
+            not in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
+            or self.ownership.is_ready(ctx.ref.object_id)
+        ):
+            return
+        self._speculate(ctx)
+
+    def _speculate(self, ctx: _TaskCtx) -> None:
+        assert ctx.device is not None
+        try:
+            candidates = [
+                d
+                for d in self.scheduler.candidates(ctx.spec)
+                if d.device_id != ctx.device.device_id
+                and self._device_alive(d.device_id)
+            ]
+        except PlacementError:
+            return
+        if not candidates:
+            return
+        backup = min(
+            candidates,
+            key=lambda d: (self.scheduler.outstanding(d.device_id), d.device_id),
+        )
+        clone = _TaskCtx(ctx.spec, ctx.ref, ctx.done)
+        clone.is_clone = True
+        clone.timeline.submitted = ctx.timeline.submitted
+        clone.device = backup
+        clone.raylet = self.raylet_for_device(backup.device_id)
+        clone.state = TaskState.SCHEDULED
+        clone.attempt = 1
+        ctx.twin = clone
+        self._record(
+            "speculate",
+            task=ctx.spec.task_id,
+            slow=ctx.device.device_id,
+            backup=backup.device_id,
+        )
+        clone.proc = self.sim.process(
+            self._run_task(clone), name=f"twin:{ctx.spec.task_id}"
+        )
+
+    def _checkpoint_actor(self, actor_id: str) -> Generator:
+        """Snapshot the actor's state into the reliable cache (deep copy, so
+        later in-place mutation cannot corrupt the checkpoint)."""
+        assert self.reliable_cache is not None
+        snapshot = copy.deepcopy(self._actor_state[actor_id])
+        nbytes = estimate_nbytes(snapshot)
+        home = self._actor_device.get(actor_id)
+        node = self.cluster.node_of_device(home).node_id if home else None
+        cost = self.reliable_cache.put(
+            ACTOR_CHECKPOINT_PREFIX + actor_id, snapshot, nbytes, preferred_node=node
+        )
+        yield self.sim.timeout(cost)
 
     def _execute_payload(self, ctx: _TaskCtx) -> Tuple[Any, int]:
         """Run the real Python function with resolved arguments."""
@@ -678,7 +1023,7 @@ class ServerlessRuntime:
         for ref in spec.dependencies:
             store = ctx.raylet.find_object(ref.object_id)
             if store is None:
-                raise UnrecoverableObjectError(
+                raise _TransientTaskError(
                     f"argument {ref.object_id!r} vanished before execution"
                 )
             resolved[ref.object_id] = store.get(ref.object_id).value
@@ -701,13 +1046,20 @@ class ServerlessRuntime:
         return value, nbytes
 
     def _on_object_ready(self, object_id: str) -> None:
-        """Pull mode: newly-ready objects may unblock waiting tasks."""
+        """Newly-ready objects poke observers and may unblock waiting tasks."""
+        for hook in list(self.object_ready_hooks):
+            hook(object_id)
         if not self._waiting:
             return
         still_waiting: List[_TaskCtx] = []
         for ctx in self._waiting:
+            if ctx.state != TaskState.PENDING:
+                continue  # failed (or got retried onto another queue) meanwhile
             if self._deps_ready(ctx.spec):
-                self._dispatch(ctx)
+                try:
+                    self._dispatch(ctx)
+                except PlacementError as exc:
+                    self._retry_or_fail(ctx, cause=str(exc))
             else:
                 still_waiting.append(ctx)
         self._waiting = still_waiting
@@ -736,6 +1088,18 @@ class ServerlessRuntime:
         self._actor_state[actor_id] = ctor(*args, **(kwargs or {}))
         self._actor_queues[actor_id] = []
         self._actor_device[actor_id] = device.device_id
+        self._actor_kinds[actor_id] = frozenset(supported_kinds)
+        self._actor_calls[actor_id] = 0
+        if self.reliable_cache is not None:
+            # checkpoint 0: even an actor that dies before its first method
+            # call can be reconstructed
+            snapshot = copy.deepcopy(self._actor_state[actor_id])
+            self.reliable_cache.put(
+                ACTOR_CHECKPOINT_PREFIX + actor_id,
+                snapshot,
+                estimate_nbytes(snapshot),
+                preferred_node=device.node_id,
+            )
         return ActorHandle(self, actor_id, device.device_id)
 
     def _submit_actor_task(
@@ -769,7 +1133,67 @@ class ServerlessRuntime:
         return self.sim.process(lock.acquire(), name=f"{actor_id}:acquire")
 
     def _actor_release(self, actor_id: str) -> None:
-        self._actor_locks[actor_id].release()
+        # reconstruction replaces the lock; a call interrupted mid-flight may
+        # release into the void, which is exactly right — its generation died
+        lock = self._actor_locks.get(actor_id)
+        if lock is not None:
+            lock.release()
+
+    def _restore_actor(self, actor_id: str, cause: str) -> bool:
+        """Restart a lost actor from its last checkpoint on a surviving node.
+
+        Returns False (and declares the actor dead) when there is no
+        checkpoint to restore from or nowhere left to place it.
+        """
+        key = ACTOR_CHECKPOINT_PREFIX + actor_id
+        snapshot = None
+        if self.reliable_cache is not None and self.reliable_cache.contains(key):
+            try:
+                snapshot, read_cost = self.reliable_cache.get(key)
+            except ObjectLostError:
+                snapshot = None
+        if snapshot is None:
+            self._dead_actors[actor_id] = cause
+            self._actor_state.pop(actor_id, None)
+            self._record("actor_dead", actor=actor_id, cause=cause)
+            return False
+        probe = TaskSpec(
+            task_id=f"{actor_id}-restart{self.actor_restarts}",
+            func=lambda: None,
+            supported_kinds=self._actor_kinds.get(
+                actor_id, frozenset({DeviceKind.CPU})
+            ),
+        )
+        try:
+            device = self.scheduler.place(probe)
+        except PlacementError:
+            self._dead_actors[actor_id] = f"{cause}; no surviving device"
+            self._actor_state.pop(actor_id, None)
+            self._record(
+                "actor_dead", actor=actor_id, cause=f"{cause}; no surviving device"
+            )
+            return False
+        self._actor_state[actor_id] = copy.deepcopy(snapshot)
+        self._actor_device[actor_id] = device.device_id
+        self._actor_locks.pop(actor_id, None)  # in-flight calls died with the node
+        self.sim.schedule(read_cost, lambda: None)  # charge the checkpoint read
+        self.actor_restarts += 1
+        self._record(
+            "actor_restart", actor=actor_id, device=device.device_id, cause=cause
+        )
+        return True
+
+    def _ensure_actor_home(self, ctx: _TaskCtx) -> bool:
+        """Before (re)dispatching an actor task: is the actor somewhere live?"""
+        aid = ctx.spec.actor_id
+        if aid in self._dead_actors:
+            return False
+        if aid not in self._actor_state:
+            return self._restore_actor(aid, cause="home state lost")
+        home = self._actor_device.get(aid)
+        if home is None or not self._device_alive(home):
+            return self._restore_actor(aid, cause="home device unavailable")
+        return True
 
     # -- explicit memory management -----------------------------------------------------
 
@@ -872,35 +1296,70 @@ class ServerlessRuntime:
     # -- failures & recovery ----------------------------------------------------------------
 
     def fail_node(self, node_id: str) -> List[str]:
-        """Kill a node: objects on it vanish, running tasks get interrupted.
+        """Kill a node *and* tell the control plane (driver omniscience).
 
+        Chaos crashes instead call only the physical half (``raylet.fail``)
+        and let heartbeat detection discover the death the honest way.
         Returns the object ids that became LOST.
         """
         for raylet in self._raylets_by_node.get(node_id, []):
             raylet.fail()
-        lost = self.ownership.drop_node(node_id)
-        # actor state is volatile: actors homed on the node die with it
-        for actor_id, device_id in self._actor_device.items():
-            if (
-                actor_id not in self._dead_actors
-                and self.cluster.node_of_device(device_id).node_id == node_id
-            ):
-                self._dead_actors[actor_id] = f"node {node_id} failed"
-                self._actor_state.pop(actor_id, None)
-        # interrupt in-flight tasks placed there; they resubmit themselves
-        for ctx in self._ctxs.values():
-            if (
-                ctx.device is not None
-                and ctx.device.node_id == node_id
-                and ctx.state in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
-                and ctx.proc is not None
-            ):
-                ctx.proc.interrupt("node failure")
-        return lost
+        return self._mark_node_dead(node_id, cause="killed by driver")
 
     def restart_node(self, node_id: str) -> None:
         for raylet in self._raylets_by_node.get(node_id, []):
             raylet.restart()
+        if self.health is None:
+            # omniscient mode: the driver's word is the control plane's truth;
+            # with heartbeats the node must earn its way back with a real beat
+            self._on_node_alive(node_id)
+
+    def _mark_node_dead(self, node_id: str, cause: str) -> List[str]:
+        """Control-plane reaction to a node death, however it was learned:
+        blacklist, drop object locations, reconstruct actors, interrupt
+        in-flight tasks.  Idempotent per death."""
+        if node_id in self._dead_nodes:
+            return []
+        self._dead_nodes.add(node_id)
+        for raylet in self._raylets_by_node.get(node_id, []):
+            for dev in raylet.devices:
+                self.scheduler.blacklist(dev.device_id)
+        lost = self.ownership.drop_node(node_id)
+        self._record("node_dead", node=node_id, cause=cause, objects_lost=len(lost))
+        # actor state is volatile: actors homed there restart from their last
+        # checkpoint on a surviving node, or die if there is none
+        for actor_id in sorted(self._actor_device):
+            if actor_id in self._dead_actors:
+                continue
+            device_id = self._actor_device[actor_id]
+            if self.cluster.node_of_device(device_id).node_id == node_id:
+                self._restore_actor(actor_id, cause=f"node {node_id} failed")
+        self._interrupt_tasks_on(node_id, cause)
+        return lost
+
+    def _on_node_alive(self, node_id: str) -> None:
+        """The control plane learned the node is (back) among the living."""
+        if node_id not in self._dead_nodes:
+            return
+        self._dead_nodes.discard(node_id)
+        for raylet in self._raylets_by_node.get(node_id, []):
+            for dev in raylet.devices:
+                self.scheduler.unblacklist(dev.device_id)
+        self._record("node_alive", node=node_id)
+
+    def _interrupt_tasks_on(self, node_id: str, cause: str) -> None:
+        """In-flight attempts placed on the node resubmit themselves."""
+        for ctx in list(self._ctxs.values()):
+            for victim in (ctx, ctx.twin):
+                if (
+                    victim is not None
+                    and victim.device is not None
+                    and victim.device.node_id == node_id
+                    and victim.state
+                    in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
+                    and victim.proc is not None
+                ):
+                    victim.proc.interrupt(f"node {node_id}: {cause}")
 
     def _recover(self, ref: ObjectRef) -> None:
         """Bring a LOST object back: checkpoint, reliable cache, or lineage."""
@@ -932,6 +1391,8 @@ class ServerlessRuntime:
                 return
         plan = self.lineage.plan_recovery(oid, self.ownership)
         self.lineage.replays += len(plan)
+        if plan:
+            self._record("lineage_replay", target=oid, tasks=len(plan))
         for spec in plan:
             old_ids = self.lineage.outputs_of(spec.task_id)
             for out_oid in old_ids:
@@ -942,7 +1403,13 @@ class ServerlessRuntime:
             ctx.timeline.submitted = self.sim.now
             self._ctxs[spec.task_id] = ctx
             self._ctx_of_object[old_ids[0]] = ctx
-            self._route(ctx)
+            self._open_tasks += 1
+            try:
+                self._route(ctx)
+            except PlacementError as exc:
+                # mid-chaos the cluster may have nowhere to run the replay
+                # right now; back off and try again
+                self._retry_or_fail(ctx, cause=str(exc))
 
     # -- introspection ---------------------------------------------------------------------
 

@@ -49,6 +49,24 @@ class Scheduler:
         self._rr_cursor = 0
         # the runtime narrows this to "raylet is alive" after node failures
         self.alive_filter: Callable[[str], bool] = lambda _device_id: True
+        # devices on suspected/dead nodes, excluded at placement time until
+        # the failure detector (or an explicit restart) clears them
+        self._blacklisted: set[str] = set()
+
+    # -- blacklisting (failure detection feeds this) -------------------------
+
+    def blacklist(self, device_id: str) -> None:
+        self._blacklisted.add(device_id)
+
+    def unblacklist(self, device_id: str) -> None:
+        self._blacklisted.discard(device_id)
+
+    def is_blacklisted(self, device_id: str) -> bool:
+        return device_id in self._blacklisted
+
+    @property
+    def blacklisted_devices(self) -> frozenset:
+        return frozenset(self._blacklisted)
 
     # -- bookkeeping the runtime drives -------------------------------------
 
@@ -75,7 +93,9 @@ class Scheduler:
         matches = [
             d
             for d in self._devices
-            if d.kind in task.supported_kinds and self.alive_filter(d.device_id)
+            if d.kind in task.supported_kinds
+            and d.device_id not in self._blacklisted
+            and self.alive_filter(d.device_id)
         ]
         if not matches:
             raise PlacementError(

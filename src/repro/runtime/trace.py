@@ -2,8 +2,11 @@
 
 Every finished task becomes a complete ("X") event: row = device, span =
 [started, finished] in virtual microseconds, with the resolution stall as
-an annotated argument.  Load the output in chrome://tracing or Perfetto to
-see gang lock-steps, pipeline bubbles, and DPU serialization visually.
+an annotated argument.  Failure/recovery incidents from the runtime's
+event log — node deaths, heartbeat suspicions, lineage replays, retries,
+actor restarts, chaos injections — become instant ("i") events, so a
+recovery storm is visible right next to the task spans it perturbs.  Load
+the output in chrome://tracing or Perfetto.
 """
 
 from __future__ import annotations
@@ -13,7 +16,33 @@ from typing import IO, List, Union
 
 from .runtime import ServerlessRuntime
 
-__all__ = ["to_chrome_trace", "write_chrome_trace"]
+__all__ = ["to_chrome_trace", "write_chrome_trace", "INSTANT_EVENT_KINDS"]
+
+# event-log kinds worth a mark in the trace, and the category they get
+INSTANT_EVENT_KINDS = {
+    "node_dead": "failure",
+    "node_alive": "recovery",
+    "node_suspected": "failure",
+    "node_unsuspected": "recovery",
+    "lineage_replay": "recovery",
+    "task_retry": "recovery",
+    "task_timeout": "failure",
+    "task_failed": "failure",
+    "actor_dead": "failure",
+    "actor_restart": "recovery",
+    "speculate": "recovery",
+    "detector_stalled": "failure",
+    "chaos_node_crash": "chaos",
+    "chaos_node_restart": "chaos",
+    "chaos_partition": "chaos",
+    "chaos_partition_heal": "chaos",
+    "chaos_link_degraded": "chaos",
+    "chaos_link_restored": "chaos",
+    "chaos_message_loss": "chaos",
+    "chaos_message_loss_end": "chaos",
+    "chaos_straggler": "chaos",
+    "chaos_straggler_end": "chaos",
+}
 
 
 def to_chrome_trace(runtime: ServerlessRuntime) -> List[dict]:
@@ -35,6 +64,25 @@ def to_chrome_trace(runtime: ServerlessRuntime) -> List[dict]:
                     "submitted_us": tl.submitted * 1e6,
                     "input_stall_us": tl.input_stall * 1e6,
                 },
+            }
+        )
+    for ev in runtime.events:
+        cat = INSTANT_EVENT_KINDS.get(ev.kind)
+        if cat is None:
+            continue
+        detail = ev.as_dict()
+        # pin node-scoped incidents to their node's row; the rest go global
+        pid = detail.get("node", "control-plane")
+        events.append(
+            {
+                "name": ev.kind,
+                "cat": cat,
+                "ph": "i",
+                "s": "g",  # global scope: draw the mark across all rows
+                "ts": ev.time * 1e6,
+                "pid": pid,
+                "tid": cat,
+                "args": {k: repr(v) for k, v in detail.items()},
             }
         )
     return events

@@ -1,0 +1,344 @@
+"""Tests for repro.chaos: schedules, injection, detection, self-healing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching.replication import ReplicationScheme
+from repro.chaos import (
+    ChaosMonkey,
+    ChaosSchedule,
+    MessageLoss,
+    NetworkPartition,
+    NodeCrash,
+    Straggler,
+)
+from repro.cluster.cluster import build_serverful
+from repro.cluster.hardware import DeviceKind
+from repro.runtime import ResolutionMode, RuntimeConfig, ServerlessRuntime
+from repro.runtime.runtime import make_reliable_cache
+
+
+def chaos_config(**overrides):
+    """A runtime config tuned so retry budgets span the detection window."""
+    base = dict(
+        resolution=ResolutionMode.PULL,
+        heartbeat_interval=1e-3,
+        heartbeat_miss_threshold=3,
+        max_retries=10,
+        retry_backoff_base=2e-3,
+    )
+    base.update(overrides)
+    return RuntimeConfig(**base)
+
+
+def cpu_of(cluster, node_id):
+    return cluster.node(node_id).first_of_kind(DeviceKind.CPU)
+
+
+class TestChaosSchedule:
+    def test_fluent_builders_validate(self):
+        sched = ChaosSchedule()
+        sched.crash_node(0.5, "server1", restart_after=0.2)
+        sched.partition(0.3, [["server1", "server2"]], heal_after=0.1)
+        sched.slow_device(0.1, "server0/cpu0", 8.0, duration=0.2)
+        with pytest.raises(ValueError):
+            sched.slow_device(0.1, "server0/cpu0", 0.5)
+        with pytest.raises(ValueError):
+            sched.degrade_link(0.1, "a", "b", 0.9)
+        with pytest.raises(ValueError):
+            sched.lose_messages(0.1, 1.5)
+        assert len(sched) == 3
+
+    def test_ordered_sorts_by_time(self):
+        sched = (
+            ChaosSchedule()
+            .crash_node(0.9, "n1")
+            .slow_device(0.1, "d0", 2.0)
+            .partition(0.5, [["n1"]])
+        )
+        kinds = [type(f).__name__ for f in sched.ordered()]
+        assert kinds == ["Straggler", "NetworkPartition", "NodeCrash"]
+
+    def test_random_is_seed_deterministic(self):
+        kwargs = dict(
+            node_ids=["server1", "server2", "server3"],
+            device_ids=["server1/cpu0", "server2/cpu0"],
+            horizon=1.0,
+            n_crashes=2,
+            n_partitions=1,
+            n_stragglers=1,
+            message_loss_rate=0.1,
+        )
+        a = ChaosSchedule.random(7, **kwargs)
+        b = ChaosSchedule.random(7, **kwargs)
+        c = ChaosSchedule.random(8, **kwargs)
+        assert a.ordered() == b.ordered()
+        assert a.ordered() != c.ordered()
+        assert sum(isinstance(f, NodeCrash) for f in a) == 2
+        assert sum(isinstance(f, NetworkPartition) for f in a) == 1
+        assert sum(isinstance(f, Straggler) for f in a) == 1
+        assert sum(isinstance(f, MessageLoss) for f in a) == 1
+
+    def test_random_needs_nodes(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.random(1, node_ids=[], horizon=1.0)
+
+
+class TestHeartbeatDetection:
+    def test_crash_is_detected_not_announced(self):
+        """A chaos crash tells the control plane nothing; heartbeats do."""
+        rt = ServerlessRuntime(build_serverful(n_servers=3), chaos_config())
+        monkey = ChaosMonkey(rt, ChaosSchedule().crash_node(2e-3, "server1")).arm()
+        refs = [
+            rt.submit(lambda i=i: i * i, compute_cost=5e-3, name=f"sq{i}")
+            for i in range(12)
+        ]
+        assert rt.get(refs) == [i * i for i in range(12)]
+        assert rt.tasks_failed == 0
+        assert rt.log.count("node_suspected") >= 1
+        assert rt.log.of_kind("node_suspected")[0]["node"] == "server1"
+        # the only node_dead verdicts came from the detector, not the driver
+        assert all(
+            ev["cause"] == "missed heartbeats" for ev in rt.log.of_kind("node_dead")
+        )
+        assert rt.scheduler.is_blacklisted(cpu_of(rt.cluster, "server1").device_id)
+        assert rt.health is not None and rt.health.beats_received > 0
+        assert monkey.injected  # the crash actually fired
+
+    def test_restarted_node_is_unsuspected_by_a_beat(self):
+        rt = ServerlessRuntime(build_serverful(n_servers=3), chaos_config())
+        schedule = ChaosSchedule().crash_node(2e-3, "server1", restart_after=6e-3)
+        ChaosMonkey(rt, schedule).arm()
+        refs = [
+            rt.submit(lambda i=i: i + 100, compute_cost=2e-2, name=f"t{i}")
+            for i in range(9)
+        ]
+        assert rt.get(refs) == [i + 100 for i in range(9)]
+        assert rt.log.count("node_suspected") >= 1
+        assert rt.log.count("node_unsuspected") >= 1
+        assert not rt.scheduler.is_blacklisted(cpu_of(rt.cluster, "server1").device_id)
+
+    def test_heartbeats_pay_for_messages(self):
+        rt = ServerlessRuntime(build_serverful(n_servers=2), chaos_config())
+        ref = rt.submit(lambda: 1, compute_cost=1e-2)
+        assert rt.get(ref) == 1
+        assert rt.health.beats_sent > 0
+        # heartbeats ride the same accounted control plane as everything else
+        assert rt.net.stats.messages > rt.health.beats_sent
+
+    def test_heartbeats_off_by_default(self):
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=2),
+            RuntimeConfig(resolution=ResolutionMode.PULL),
+        )
+        assert rt.health is None
+        assert rt.get(rt.submit(lambda: 5)) == 5
+
+
+class TestRetriesUnderChaos:
+    def test_partition_drops_leases_until_heal(self):
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=2),
+            RuntimeConfig(
+                resolution=ResolutionMode.PULL, max_retries=10, retry_backoff_base=2e-3
+            ),
+        )
+        schedule = ChaosSchedule().partition(0.0, [["server1"]], heal_after=5e-3)
+        ChaosMonkey(rt, schedule).arm()
+        cpu1 = cpu_of(rt.cluster, "server1")
+        ref = rt.submit(
+            lambda: "made it", compute_cost=1e-3, pinned_device=cpu1.device_id
+        )
+        assert rt.get(ref) == "made it"
+        assert rt.tasks_retried >= 1
+        assert rt.net.stats.dropped_messages >= 1
+        assert not rt.net.partitioned  # healed
+
+    def test_message_loss_is_absorbed_by_retries(self):
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=2),
+            RuntimeConfig(
+                resolution=ResolutionMode.PULL, max_retries=10, retry_backoff_base=2e-3
+            ),
+        )
+        schedule = ChaosSchedule().lose_messages(0.0, 0.7, duration=1e-2, seed=99)
+        ChaosMonkey(rt, schedule).arm()
+        refs = [
+            rt.submit(lambda i=i: i * 3, compute_cost=2e-3, name=f"m{i}")
+            for i in range(6)
+        ]
+        assert rt.get(refs) == [i * 3 for i in range(6)]
+        assert rt.net.stats.dropped_messages >= 1
+        assert rt.tasks_failed == 0
+
+    def test_retries_exhaust_into_permanent_failure(self):
+        from repro.runtime import TaskError
+
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=2),
+            RuntimeConfig(
+                resolution=ResolutionMode.PULL, max_retries=2, retry_backoff_base=1e-4
+            ),
+        )
+        # a partition that never heals: the pinned task can never be leased
+        ChaosMonkey(rt, ChaosSchedule().partition(0.0, [["server1"]])).arm()
+        cpu1 = cpu_of(rt.cluster, "server1")
+        ref = rt.submit(lambda: 1, compute_cost=1e-3, pinned_device=cpu1.device_id)
+        with pytest.raises(TaskError, match="gave up after 2 retries"):
+            rt.get(ref)
+        assert rt.tasks_failed == 1
+        assert rt.log.count("task_failed") == 1
+
+
+class TestStragglersAndSpeculation:
+    def test_speculative_copy_beats_straggler(self):
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=2),
+            RuntimeConfig(resolution=ResolutionMode.PULL, speculation_factor=4.0),
+        )
+        slow = cpu_of(rt.cluster, "server0")
+        ChaosMonkey(rt, ChaosSchedule().slow_device(0.0, slow.device_id, 50.0)).arm()
+        ref = rt.submit(lambda: "answer", compute_cost=5e-3, name="victim")
+        assert rt.get(ref) == "answer"
+        assert rt.log.count("speculate") == 1
+        tl = rt.timeline_of(ref)
+        # the backup finished in ~1x task time, nowhere near the 50x straggle
+        assert tl.finished < 5e-3 * 10
+        assert tl.device_id != slow.device_id
+        assert rt.tasks_finished == 1  # the loser did not double-count
+
+    def test_no_speculation_without_straggle(self):
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=2),
+            RuntimeConfig(resolution=ResolutionMode.PULL, speculation_factor=4.0),
+        )
+        refs = [rt.submit(lambda i=i: i, compute_cost=1e-3) for i in range(4)]
+        assert rt.get(refs) == [0, 1, 2, 3]
+        assert rt.log.count("speculate") == 0
+
+    def test_task_timeout_interrupts_and_retries(self):
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=2),
+            RuntimeConfig(
+                resolution=ResolutionMode.PULL,
+                task_timeout=2e-2,
+                max_retries=3,
+                retry_backoff_base=1e-4,
+            ),
+        )
+        slow = cpu_of(rt.cluster, "server0")
+        # straggle ends after 30ms: attempt 1 times out at 20ms, the retry
+        # lands after the device recovered and completes at full speed
+        sched = ChaosSchedule().slow_device(0.0, slow.device_id, 100.0, duration=3e-2)
+        ChaosMonkey(rt, sched).arm()
+        ref = rt.submit(
+            lambda: "eventually", compute_cost=5e-3, pinned_device=slow.device_id
+        )
+        assert rt.get(ref) == "eventually"
+        assert rt.log.count("task_timeout") >= 1
+        assert rt.tasks_retried >= 1
+
+
+class TestActorReconstruction:
+    class _Auditor:
+        def __init__(self):
+            self.seen = set()
+
+    @staticmethod
+    def _mark(state, i):
+        state.seen.add(i)  # idempotent: at-least-once re-execution is safe
+        return len(state.seen)
+
+    @staticmethod
+    def _size(state):
+        return len(state.seen)
+
+    def _runtime(self):
+        cluster = build_serverful(n_servers=3)
+        cache = make_reliable_cache(cluster, ReplicationScheme(2))
+        return ServerlessRuntime(cluster, chaos_config(), reliable_cache=cache)
+
+    def test_actor_restarts_from_checkpoint_on_surviving_node(self):
+        rt = self._runtime()
+        home = cpu_of(rt.cluster, "server1")
+        actor = rt.create_actor(self._Auditor, pinned_device=home.device_id)
+        ChaosMonkey(rt, ChaosSchedule().crash_node(5e-3, "server1")).arm()
+        refs = [actor.call(self._mark, i, compute_cost=2e-3) for i in range(10)]
+        rt.get(refs)
+        assert rt.get(actor.call(self._size)) == 10  # no marks lost
+        assert rt.actor_restarts == 1
+        assert rt.log.count("actor_restart") == 1
+        new_home = actor.device_id
+        assert rt.cluster.node_of_device(new_home).node_id != "server1"
+        assert not rt._dead_actors
+
+    def test_actor_dies_without_checkpoint(self):
+        from repro.runtime import TaskError
+
+        rt = ServerlessRuntime(build_serverful(n_servers=3), chaos_config())
+        home = cpu_of(rt.cluster, "server1")
+        actor = rt.create_actor(self._Auditor, pinned_device=home.device_id)
+        ChaosMonkey(rt, ChaosSchedule().crash_node(2e-3, "server1")).arm()
+        ref = actor.call(self._mark, 1, compute_cost=2e-2)
+        with pytest.raises(TaskError, match="actor .* is dead"):
+            rt.get(ref)
+        assert actor.actor_id in rt._dead_actors
+        assert rt.log.count("actor_dead") == 1
+
+
+class TestDeterminism:
+    def _soak(self, seed):
+        cluster = build_serverful(n_servers=3)
+        cache = make_reliable_cache(cluster, ReplicationScheme(2))
+        rt = ServerlessRuntime(cluster, chaos_config(), reliable_cache=cache)
+        schedule = ChaosSchedule.random(
+            seed,
+            node_ids=["server1", "server2"],
+            device_ids=[cpu_of(cluster, "server2").device_id],
+            horizon=2e-2,
+            n_crashes=1,
+            n_partitions=1,
+            n_stragglers=1,
+        )
+        ChaosMonkey(rt, schedule).arm()
+        lanes = []
+        for lane in range(4):
+            ref = rt.submit(lambda lane=lane: lane, compute_cost=3e-3)
+            for _ in range(3):
+                ref = rt.submit(lambda x: x + 1, (ref,), compute_cost=3e-3)
+            lanes.append(ref)
+        total = rt.submit(lambda *xs: sum(xs), tuple(lanes), compute_cost=1e-3)
+        assert rt.get(total) == sum(lane + 3 for lane in range(4))
+        return rt.log.signature(), rt.sim.now
+
+    def test_same_seed_same_event_trace(self):
+        sig_a, now_a = self._soak(42)
+        sig_b, now_b = self._soak(42)
+        assert sig_a == sig_b
+        assert now_a == now_b
+
+    def test_different_seed_different_trace(self):
+        sig_a, _ = self._soak(42)
+        sig_c, _ = self._soak(43)
+        assert sig_a != sig_c
+
+
+class TestReactiveInjection:
+    def test_crash_on_object_ready_fires_once(self):
+        rt = ServerlessRuntime(build_serverful(n_servers=3), chaos_config())
+        monkey = ChaosMonkey(rt, ChaosSchedule())
+        monkey.arm()
+        a = rt.submit(lambda: 1, compute_cost=2e-3, name="trigger")
+        monkey.crash_on_object_ready(a.object_id, "server2")
+        b = rt.submit(lambda x: x + 1, (a,), compute_cost=2e-3)
+        assert rt.get(b) == 2
+        crashes = [f for f in monkey.injected if isinstance(f, NodeCrash)]
+        assert len(crashes) == 1 and crashes[0].node_id == "server2"
+
+    def test_double_arm_rejected(self):
+        rt = ServerlessRuntime(build_serverful(n_servers=2), chaos_config())
+        monkey = ChaosMonkey(rt, ChaosSchedule())
+        monkey.arm()
+        with pytest.raises(RuntimeError):
+            monkey.arm()

@@ -198,3 +198,116 @@ class TestSchedulerAfterFailure:
         rt.get(refs)
         nodes = {rt.timeline_of(r).device_id.split("/")[0] for r in refs}
         assert "server1" not in nodes
+
+
+class TestGetTimeout:
+    def test_timeout_raises_and_leaves_ref_usable(self):
+        from repro.runtime import GetTimeoutError
+
+        rt = pull_runtime()
+        ref = rt.submit(lambda: 42, compute_cost=1.0, name="slow")
+        with pytest.raises(GetTimeoutError, match="unresolved after timeout"):
+            rt.get(ref, timeout=0.05)
+        assert rt.sim.now == pytest.approx(0.05)
+        assert rt.get(ref) == 42  # a later, patient get still resolves
+
+    def test_timeout_not_raised_when_task_beats_it(self):
+        rt = pull_runtime()
+        ref = rt.submit(lambda: 7, compute_cost=1e-3)
+        assert rt.get(ref, timeout=10.0) == 7
+        assert rt.sim.now < 1.0  # get returned at completion, not the deadline
+
+    def test_timeout_is_relative_to_current_sim_time(self):
+        rt = pull_runtime()
+        a = rt.submit(lambda: 1, compute_cost=0.02)
+        assert rt.get(a) == 1  # clock now sits past 0.02s
+        b = rt.submit(lambda: 2, compute_cost=0.05)
+        # an absolute-deadline bug would see timeout=0.2 "already expired"
+        # relative semantics give b a fresh 0.2s window
+        assert rt.get(b, timeout=0.2) == 2
+
+    def test_partial_resolution_reported(self):
+        from repro.runtime import GetTimeoutError
+
+        rt = pull_runtime()
+        fast = rt.submit(lambda: "f", compute_cost=1e-3)
+        slow = rt.submit(lambda: "s", compute_cost=1.0)
+        with pytest.raises(GetTimeoutError, match="1/2 refs unresolved"):
+            rt.get([fast, slow], timeout=0.05)
+
+
+class TestDeadActorPath:
+    class _Cell:
+        def __init__(self):
+            self.v = 0
+
+    @staticmethod
+    def _bump(state):
+        state.v += 1
+        return state.v
+
+    def test_every_call_after_death_fails(self):
+        from repro.runtime import TaskError
+
+        rt = pull_runtime(cluster=build_serverful(n_servers=3))
+        cpu1 = rt.cluster.node("server1").first_of_kind(DeviceKind.CPU)
+        actor = rt.create_actor(self._Cell, pinned_device=cpu1.device_id)
+        assert rt.get(actor.call(self._bump)) == 1
+        rt.fail_node("server1")
+        rt.restart_node("server1")
+        for _ in range(2):  # dead is dead: no zombie revival on later calls
+            with pytest.raises(TaskError, match="actor .* is dead"):
+                rt.get(actor.call(self._bump))
+        assert actor.actor_id in rt._dead_actors
+        assert rt.log.count("actor_dead") == 1
+
+    def test_checkpointed_actor_survives_fail_node(self):
+        cluster = build_serverful(n_servers=3)
+        cache = make_reliable_cache(cluster, ReplicationScheme(2))
+        rt = pull_runtime(cluster=cluster, reliable_cache=cache)
+        cpu1 = cluster.node("server1").first_of_kind(DeviceKind.CPU)
+        actor = rt.create_actor(self._Cell, pinned_device=cpu1.device_id)
+        for expect in (1, 2, 3):
+            assert rt.get(actor.call(self._bump)) == expect
+        rt.fail_node("server1")
+        # reconstructed from the post-call-3 checkpoint on a surviving node
+        assert rt.get(actor.call(self._bump)) == 4
+        assert rt.actor_restarts == 1
+        assert rt.cluster.node_of_device(actor.device_id).node_id != "server1"
+
+
+class TestReplayExhaustion:
+    def test_unrecoverable_after_max_replays(self):
+        cluster = build_serverful(n_servers=1)
+        rt = ServerlessRuntime(
+            cluster,
+            RuntimeConfig(resolution=ResolutionMode.PULL, max_lineage_replays=2),
+        )
+        cpu = cluster.node("server0").first_of_kind(DeviceKind.CPU)
+        ref = build_chain(rt, 3, device=cpu.device_id)
+        assert rt.get(ref) == 3
+
+        def saboteur(ready_oid):
+            # every time the replay re-materializes the target, nuke it again
+            if ready_oid == ref.object_id:
+                rt.fail_node("server0")
+                rt.restart_node("server0")
+
+        rt.fail_node("server0")
+        rt.restart_node("server0")
+        rt.object_ready_hooks.append(saboteur)
+        with pytest.raises(UnrecoverableObjectError, match="after 2 replays"):
+            rt.get(ref)
+        rt.object_ready_hooks.remove(saboteur)
+
+    def test_replay_budget_not_consumed_by_success(self):
+        rt = pull_runtime()
+        cpu = rt.cluster.node("server0").first_of_kind(DeviceKind.CPU)
+        ref = build_chain(rt, 3, device=cpu.device_id)
+        assert rt.get(ref) == 3
+        # lose and recover max_lineage_replays times in *separate* gets:
+        # the budget is per-get, not per-object lifetime
+        for _ in range(rt.config.max_lineage_replays):
+            rt.fail_node("server0")
+            rt.restart_node("server0")
+            assert rt.get(ref) == 3

@@ -142,3 +142,107 @@ class TestNetwork:
         net = Network(sim, line_topology())
         with pytest.raises(ValueError):
             net.transfer("a", "b", -5)
+
+
+class TestChaosHooks:
+    """Fault-injection hooks: partitions, seeded loss, degraded links."""
+
+    def test_partition_drops_cross_group_messages(self, sim):
+        net = Network(sim, line_topology())
+        net.partition({"a"})
+        p = net.message("a", "c")
+        sim.run()
+        assert p.value is False  # dropped, not delivered
+        assert net.stats.dropped_messages == 1
+
+    def test_partition_same_group_unaffected(self, sim):
+        net = Network(sim, line_topology())
+        net.partition({"a"})  # b and c share the implicit remainder group
+        p = net.message("b", "c")
+        sim.run()
+        assert p.value is True
+        assert net.stats.dropped_messages == 0
+
+    def test_heal_restores_delivery(self, sim):
+        net = Network(sim, line_topology())
+        net.partition({"a"})
+        assert net.partitioned
+        net.heal_partition()
+        assert not net.partitioned
+        p = net.message("a", "c")
+        sim.run()
+        assert p.value is True
+
+    def test_partition_blocks_transfers(self, sim):
+        net = Network(sim, line_topology())
+        net.partition({"a"})
+        p = net.transfer("a", "c", 1000)
+        sim.run()
+        assert p.value is None  # blocked: caller sees a failed fetch
+        assert net.stats.blocked_transfers == 1
+        assert sim.now > 0.0  # the doomed attempt still burned wire time
+
+    def test_rpc_fails_if_either_leg_dropped(self, sim):
+        net = Network(sim, line_topology())
+        net.partition({"c"})
+        p = net.rpc("a", "c")
+        sim.run()
+        assert p.value is False
+
+    def test_message_loss_is_seed_reproducible(self):
+        def drop_pattern(seed):
+            sim = Simulator()
+            net = Network(sim, line_topology())
+            net.set_message_loss(0.5, seed=seed)
+            procs = [net.message("a", "c", label=f"m{i}") for i in range(40)]
+            sim.run()
+            return [p.value for p in procs]
+
+        first = drop_pattern(7)
+        assert drop_pattern(7) == first  # identical seed, identical drops
+        assert drop_pattern(8) != first
+        assert False in first and True in first  # 0.5 actually drops some
+
+    def test_loss_rate_validated(self, sim):
+        net = Network(sim, line_topology())
+        with pytest.raises(ValueError):
+            net.set_message_loss(1.5)
+        with pytest.raises(ValueError):
+            net.set_message_loss(-0.1)
+
+    def test_degraded_link_slows_transfer_by_factor(self):
+        def timed(factor):
+            sim = Simulator()
+            topo = line_topology()
+            if factor != 1.0:
+                topo.degrade_link("a", "b", factor)
+            net = Network(sim, topo)
+            net.transfer("a", "b", 8 * MB)
+            sim.run()
+            return sim.now
+
+        assert timed(4.0) == pytest.approx(4.0 * timed(1.0))
+
+    def test_degradation_does_not_reroute(self):
+        topo = line_topology()
+        topo.degrade_link("a", "b", 1000.0)
+        # routing still uses healthy latencies: tables lag flaky cables
+        assert topo.route("a", "c") == [("a", "b"), ("b", "c")]
+        assert topo.degradation("a", "b") == 1000.0
+
+    def test_restore_link_clears_degradation(self):
+        topo = line_topology()
+        topo.degrade_link("a", "b", 5.0)
+        topo.restore_link("a", "b")
+        assert topo.degradation("a", "b") == 1.0
+        # factor exactly 1.0 is also a restore
+        topo.degrade_link("a", "b", 3.0)
+        topo.degrade_link("a", "b", 1.0)
+        assert topo.degradation("a", "b") == 1.0
+
+    def test_degrade_validates(self):
+        topo = line_topology()
+        with pytest.raises(ValueError):
+            topo.degrade_link("a", "b", 0.5)
+        with pytest.raises(KeyError):
+            topo.degrade_link("a", "zzz", 2.0)
