@@ -24,7 +24,6 @@ from __future__ import annotations
 from repro.bench import ResultTable, fmt_seconds
 from repro.cluster import DeviceKind, build_physical_disagg
 from repro.runtime import (
-    ANY_COMPUTE_KIND,
     ResolutionMode,
     RuntimeConfig,
     SchedulingPolicy,

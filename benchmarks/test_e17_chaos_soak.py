@@ -19,6 +19,8 @@ trace twice.
 
 from __future__ import annotations
 
+import os
+
 from repro.bench import ResultTable, fmt_seconds
 from repro.caching import ReplicationScheme
 from repro.chaos import ChaosMonkey, ChaosSchedule, NetworkPartition, NodeCrash, Straggler
@@ -181,3 +183,17 @@ def test_e17_chaos_soak(benchmark):
     assert soak["signature"] == replay["signature"]
     assert soak["makespan"] == replay["makespan"]
     assert soak["answer"] == replay["answer"]
+
+    # telemetry artifacts for CI (chrome trace + prometheus export)
+    artifacts = os.environ.get("BENCH_ARTIFACTS")
+    if artifacts:
+        from repro.runtime.trace import write_chrome_trace
+        from repro.telemetry import to_prometheus_text
+
+        os.makedirs(artifacts, exist_ok=True)
+        write_chrome_trace(
+            rt, os.path.join(artifacts, "e17_trace.json"),
+            spans=True, counters=True,
+        )
+        with open(os.path.join(artifacts, "e17_metrics.prom"), "w") as fh:
+            fh.write(to_prometheus_text(rt.telemetry.registry))

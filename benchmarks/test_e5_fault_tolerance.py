@@ -14,7 +14,6 @@ paying storage overhead instead.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.bench import ResultTable, fmt_seconds
 from repro.caching import ErasureCode, ReplicationScheme

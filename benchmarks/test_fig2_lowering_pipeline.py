@@ -16,7 +16,7 @@ from repro.bench import ResultTable, fmt_seconds, lineitem_like_table
 from repro.caching import RecordBatch
 from repro.cluster import build_physical_disagg, DeviceKind
 from repro.flowgraph import FlowGraph, collect_sink, launch_physical_graph, to_physical
-from repro.ir import Builder, FrameType, col, lit
+from repro.ir import Builder, FrameType, col
 from repro.runtime import ServerlessRuntime
 
 QUERY = (

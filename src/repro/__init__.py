@@ -11,6 +11,7 @@ Layers (bottom-up):
   multi-backend lowering.
 * :mod:`repro.flowgraph`— logical FlowGraph and physical sharded graph.
 * :mod:`repro.frontends`— SQL, dataframe, MapReduce, graph, ML tiers.
+* :mod:`repro.telemetry`— metrics plane, causal span tracing, critical path.
 * :mod:`repro.core`     — the Skadi facade.
 
 Quick start::

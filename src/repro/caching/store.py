@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .kv import estimate_nbytes
-from .replication import ErasureCode, ReplicationScheme, Shard
+from .replication import ErasureCode, Shard
 from .tiers import TieredCache, TierSpec
 
 __all__ = ["CacheNode", "CachingLayer", "ObjectLostError", "default_transfer_time"]

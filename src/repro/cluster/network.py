@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Iterable, Optional, Tuple
+from typing import Dict, Generator, Iterable, Tuple
 
 from .simtime import Process, Resource, Simulator
 from .topology import Topology
@@ -73,10 +73,61 @@ class Network:
         self.sim = sim
         self.topology = topology
         self.stats = NetworkStats()
+        # a telemetry MetricsRegistry (duck-typed: this layer sits below
+        # repro.telemetry); the runtime wires it in so per-link bytes,
+        # messages, and busy-time land in the cluster-wide metrics plane
+        self.metrics = None
         self._link_slots: Dict[Tuple[str, str], Resource] = {}
         self._partition_groups: Tuple[frozenset, ...] = ()
         self._loss_rate = 0.0
         self._loss_rng = random.Random(0)
+
+    # -- telemetry -----------------------------------------------------------
+
+    @staticmethod
+    def link_label(a: str, b: str) -> str:
+        """Canonical metrics label for an undirected link."""
+        lo, hi = sorted((a, b))
+        return f"{lo}<->{hi}"
+
+    def _meter_hops(self, hops, nbytes: int, is_message: bool) -> None:
+        if self.metrics is None:
+            return
+        for a, b in hops:
+            link = self.link_label(a, b)
+            if is_message:
+                self.metrics.counter(
+                    "skadi_link_messages_total",
+                    "control messages carried per fabric link",
+                    link=link,
+                ).inc()
+            else:
+                self.metrics.counter(
+                    "skadi_link_transfers_total",
+                    "bulk transfers carried per fabric link",
+                    link=link,
+                ).inc()
+            self.metrics.counter(
+                "skadi_link_bytes_total",
+                "payload bytes routed over each fabric link",
+                link=link,
+            ).inc(nbytes)
+
+    def _meter_busy(self, a: str, b: str, seconds: float) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "skadi_link_busy_seconds_total",
+                "virtual seconds each link spent serializing bytes",
+                link=self.link_label(a, b),
+            ).inc(seconds)
+
+    def _meter_drop(self, kind: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "skadi_net_dropped_total",
+                "messages/transfers chaos refused to deliver",
+                kind=kind,
+            ).inc()
 
     # -- fault injection hooks ----------------------------------------------
 
@@ -139,12 +190,14 @@ class Network:
             raise ValueError(f"negative transfer size: {nbytes}")
         hops = self.topology.route(src, dst)
         self.stats.record(hops, nbytes, is_message=False)
+        self._meter_hops(hops, nbytes, is_message=False)
 
         def _move() -> Generator:
             if self.crosses_partition(src, dst):
                 # the sender burns a connect-timeout's worth of first-hop
                 # latency before declaring the peer unreachable
                 self.stats.blocked_transfers += 1
+                self._meter_drop("blocked_transfer")
                 if hops:
                     yield self.sim.timeout(self.topology.link(*hops[0]).latency)
                 return None
@@ -154,7 +207,9 @@ class Network:
                 slot = self._slot(a, b)
                 yield slot.request()
                 try:
-                    yield self.sim.timeout(factor * nbytes / link.bandwidth)
+                    serialize = factor * nbytes / link.bandwidth
+                    self._meter_busy(a, b, serialize)
+                    yield self.sim.timeout(serialize)
                 finally:
                     slot.release()
                 yield self.sim.timeout(factor * link.latency)
@@ -172,6 +227,7 @@ class Network:
         """
         hops = self.topology.route(src, dst)
         self.stats.record(hops, CONTROL_MSG_BYTES, is_message=True)
+        self._meter_hops(hops, CONTROL_MSG_BYTES, is_message=True)
         dropped = self.crosses_partition(src, dst) or (
             self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate
         )
@@ -179,6 +235,7 @@ class Network:
         def _send() -> Generator:
             if dropped:
                 self.stats.dropped_messages += 1
+                self._meter_drop("message")
                 if hops:
                     yield self.sim.timeout(
                         self.topology.link(*hops[0]).transfer_time(CONTROL_MSG_BYTES)

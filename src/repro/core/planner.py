@@ -18,7 +18,7 @@ from typing import Dict, Optional, Tuple
 
 from ..flowgraph.logical import FlowGraph, Vertex
 from ..ir.backends import op_work_elements
-from ..ir.core import Builder, Function, Operation, Value
+from ..ir.core import Builder, Function, Operation
 from ..ir.types import FrameType
 
 __all__ = ["ir_to_flowgraph", "PlanningError"]

@@ -9,7 +9,7 @@ returns real values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
 from ..caching.columnar import RecordBatch, concat_batches

@@ -13,8 +13,8 @@ delegated to Skadi's stateful serverless runtime" (§1).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
 
 from ..cluster.hardware import DeviceKind
 from ..ir.core import Function

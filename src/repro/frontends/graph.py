@@ -10,7 +10,7 @@ shuffle — the distributed path the benchmarks exercise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

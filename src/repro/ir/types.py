@@ -7,7 +7,6 @@ Unknown dimensions are ``None`` (dynamic), as in MLIR's ``?``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

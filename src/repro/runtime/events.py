@@ -13,8 +13,8 @@ as a :class:`RuntimeEvent`.  The log serves three masters:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["RuntimeEvent", "EventLog"]
 
@@ -48,10 +48,15 @@ class EventLog:
 
     def __init__(self) -> None:
         self.events: List[RuntimeEvent] = []
+        # observer poked on every record — the telemetry plane mirrors the
+        # log into incident counters so both views share one source of truth
+        self.on_record: Optional[Callable[[RuntimeEvent], None]] = None
 
     def record(self, time: float, kind: str, **detail: Any) -> RuntimeEvent:
         ev = RuntimeEvent(time, kind, tuple(sorted(detail.items())))
         self.events.append(ev)
+        if self.on_record is not None:
+            self.on_record(ev)
         return ev
 
     def of_kind(self, kind: str) -> List[RuntimeEvent]:
@@ -59,6 +64,13 @@ class EventLog:
 
     def count(self, kind: str) -> int:
         return sum(1 for e in self.events if e.kind == kind)
+
+    def counts(self) -> Dict[str, int]:
+        """Occurrences per kind, sorted by kind (comparable to telemetry)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return dict(sorted(out.items()))
 
     def signature(self) -> List[Tuple[float, str, Tuple[Tuple[str, Any], ...]]]:
         """A comparable fingerprint: two seeded runs must produce equal

@@ -107,14 +107,23 @@ class HeartbeatMonitor:
             if not any(r.alive for r in raylets):
                 continue  # a dead raylet does not beat; silence is the signal
             self.beats_sent += 1
+            self._meter("skadi_heartbeats_sent_total", "heartbeats emitted per node", node_id)
             delivered = yield self.net.message(
                 endpoint, self.runtime.gcs_endpoint, label="heartbeat"
             )
             if delivered:
                 self._beat(node_id)
 
+    def _meter(self, name: str, help_text: str, node_id: str) -> None:
+        telemetry = getattr(self.runtime, "telemetry", None)
+        if telemetry is not None:
+            telemetry.registry.counter(name, help_text, node=node_id).inc()
+
     def _beat(self, node_id: str) -> None:
         self.beats_received += 1
+        self._meter(
+            "skadi_heartbeats_received_total", "heartbeats the GCS received per node", node_id
+        )
         self.last_seen[node_id] = self.sim.now
         if node_id in self.suspected:
             self.suspected.discard(node_id)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from ..cluster.hardware import Device
 
@@ -39,6 +39,18 @@ class LocalObjectStore:
         self._objects: "OrderedDict[str, StoredObject]" = OrderedDict()
         self.spilled_out = 0
         self.spilled_bytes = 0
+        self._used = 0
+        # a telemetry MetricsRegistry, wired in by the runtime (this layer
+        # sits below repro.telemetry, so the attribute is duck-typed)
+        self.metrics = None
+
+    def _meter_resident(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "skadi_store_bytes_resident",
+                "bytes resident in each device's object store",
+                device=self.device.device_id,
+            ).set(float(self._used))
 
     @property
     def node_id(self) -> str:
@@ -53,6 +65,14 @@ class LocalObjectStore:
             spilled += self._spill_one(needed=nbytes)
         record = StoredObject(object_id, value, nbytes, self.device.device_id)
         self._objects[object_id] = record
+        self._used += nbytes
+        if self.metrics is not None:
+            self.metrics.counter(
+                "skadi_store_puts_total",
+                "objects written into each device's store",
+                device=self.device.device_id,
+            ).inc()
+            self._meter_resident()
         return record, spilled
 
     def _spill_one(self, needed: int) -> int:
@@ -68,9 +88,17 @@ class LocalObjectStore:
         victim_id, victim = next(iter(self._objects.items()))
         del self._objects[victim_id]
         self.device.free_memory(victim.nbytes)
+        self._used -= victim.nbytes
         self.spill_target.put(victim_id, victim.value, victim.nbytes)
         self.spilled_out += 1
         self.spilled_bytes += victim.nbytes
+        if self.metrics is not None:
+            self.metrics.counter(
+                "skadi_store_evictions_total",
+                "LRU spills out of each device's store",
+                device=self.device.device_id,
+            ).inc()
+            self._meter_resident()
         return victim.nbytes
 
     def get(self, object_id: str) -> StoredObject:
@@ -88,6 +116,8 @@ class LocalObjectStore:
         if record is None:
             return False
         self.device.free_memory(record.nbytes)
+        self._used -= record.nbytes
+        self._meter_resident()
         return True
 
     def clear(self) -> None:
@@ -95,10 +125,12 @@ class LocalObjectStore:
         for record in self._objects.values():
             self.device.free_memory(record.nbytes)
         self._objects.clear()
+        self._used = 0
+        self._meter_resident()
 
     @property
     def used_bytes(self) -> int:
-        return sum(r.nbytes for r in self._objects.values())
+        return self._used
 
     def __len__(self) -> int:
         return len(self._objects)

@@ -50,6 +50,8 @@ class Raylet:
         }
         self.control_slot = Resource(sim, capacity=1, name=f"ctrl:{self.raylet_id}")
         self.control_actions = 0
+        # telemetry MetricsRegistry, wired in by the runtime (duck-typed)
+        self.metrics = None
         self.alive = True
         self.incarnation = 0  # bumped on every restart (stale-lease detection)
         self.failures = 0
@@ -91,6 +93,12 @@ class Raylet:
         """
         cost = self.host_device.spec.dispatch_overhead * actions
         self.control_actions += actions
+        if self.metrics is not None:
+            self.metrics.counter(
+                "skadi_raylet_control_actions_total",
+                "control-plane actions serialized through each raylet",
+                raylet=self.raylet_id,
+            ).inc(actions)
 
         def _handle() -> Generator:
             yield self.control_slot.request()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Generator, List, Optional, Sequence, Tuple
 
 from ..caching.kv import estimate_nbytes
@@ -26,17 +26,21 @@ from ..cluster.durable import DurableStore
 from ..cluster.hardware import Device, DeviceKind
 from ..cluster.node import NodeKind
 from ..cluster.simtime import Interrupt, Signal
-from .config import Generation, ResolutionMode, RuntimeConfig, SchedulingPolicy
+from ..telemetry import Telemetry
+from ..telemetry.critical_path import CriticalPathResult
+from ..telemetry.critical_path import critical_path as extract_critical_path
+from ..telemetry.spans import Span
+from .config import Generation, ResolutionMode, RuntimeConfig
 from .events import EventLog, RuntimeEvent
 from .health import HeartbeatMonitor
 from .ids import IdGenerator
 from .lineage import LineageGraph, UnrecoverableObjectError
-from .object_ref import ObjectRef, collect_refs, replace_refs
+from .object_ref import ObjectRef, replace_refs
 from .object_store import LocalObjectStore
 from .ownership import OwnershipTable, ValueState
 from .raylet import Raylet
 from .scheduler import PlacementError, Scheduler
-from .task import ANY_COMPUTE_KIND, ActorSpec, TaskSpec, TaskState
+from .task import ANY_COMPUTE_KIND, TaskSpec, TaskState
 
 __all__ = [
     "ServerlessRuntime",
@@ -93,6 +97,7 @@ class _TaskCtx:
     __slots__ = (
         "spec", "ref", "device", "raylet", "done", "state", "timeline",
         "error", "replays", "proc", "attempt", "retries", "twin", "is_clone",
+        "span",
     )
 
     def __init__(self, spec: TaskSpec, ref: ObjectRef, done: Signal):
@@ -110,6 +115,7 @@ class _TaskCtx:
         self.retries = 0  # transient-failure retries consumed
         self.twin: Optional["_TaskCtx"] = None  # speculative copy, if any
         self.is_clone = False
+        self.span: Optional[Span] = None  # causal task span (telemetry)
 
 
 class _ActorLock:
@@ -185,6 +191,10 @@ class ServerlessRuntime:
         self.durable_store = durable_store
         self._checkpoints: set = set()  # object ids checkpointed to durable
         self.ids = IdGenerator()
+        # the telemetry plane must exist before raylets/stores are built so
+        # the lower layers can be handed their (duck-typed) registries
+        self.telemetry = Telemetry(clock=lambda: self.sim.now)
+        self.net.metrics = self.telemetry.registry
         self.ownership = OwnershipTable()
         self.lineage = LineageGraph()
 
@@ -207,6 +217,7 @@ class ServerlessRuntime:
             self.config.scheduling,
             schedulable,
             endpoint=self.gcs_endpoint,
+            metrics=self.telemetry.registry,
         )
         self.scheduler.alive_filter = self._device_alive
 
@@ -231,6 +242,42 @@ class ServerlessRuntime:
         self.tasks_retried = 0
         self._open_tasks = 0  # not yet FINISHED/FAILED (heartbeat liveness)
         self.log = EventLog()
+        # every event-log record mirrors into skadi_incidents_total, so
+        # EventLog.counts() and the metrics plane agree by construction
+        self.log.on_record = self._on_incident
+        reg = self.telemetry.registry
+        self._m_submitted = reg.counter(
+            "skadi_tasks_submitted_total", "tasks submitted to the runtime"
+        )
+        self._m_finished = reg.counter(
+            "skadi_tasks_finished_total", "tasks that committed a result"
+        )
+        self._m_failed = reg.counter(
+            "skadi_tasks_failed_total", "tasks that permanently failed"
+        )
+        self._m_retried = reg.counter(
+            "skadi_tasks_retried_total", "transient-failure retries consumed"
+        )
+        self._m_replays = reg.counter(
+            "skadi_lineage_replays_total", "tasks re-executed to rebuild lost objects"
+        )
+        self._m_restarts = reg.counter(
+            "skadi_actor_restarts_total", "actors reconstructed from checkpoints"
+        )
+        self._m_speculations = reg.counter(
+            "skadi_speculations_total", "speculative backup copies launched"
+        )
+        self._m_latency = reg.histogram(
+            "skadi_task_latency_seconds", "submit-to-finish latency per task"
+        )
+        self._m_stall = reg.histogram(
+            "skadi_task_input_stall_seconds",
+            "dispatch-to-inputs-ready stall per task (pull vs push attacks this)",
+        )
+        self._m_waiting = reg.gauge(
+            "skadi_scheduler_waiting_tasks",
+            "pull-mode tasks parked waiting for dependencies",
+        )
         # observers poked whenever an object becomes ready (chaos uses this
         # for reactive fault injection: "kill the node when X materializes")
         self.object_ready_hooks: List[Callable[[str], None]] = []
@@ -258,6 +305,9 @@ class ServerlessRuntime:
             self._raylets.extend(raylets)
             self._raylets_by_node[node.node_id] = raylets
             for raylet in raylets:
+                raylet.metrics = self.telemetry.registry
+                for store in raylet.stores.values():
+                    store.metrics = self.telemetry.registry
                 for dev in raylet.devices:
                     self._raylet_of_device[dev.device_id] = raylet
 
@@ -265,7 +315,9 @@ class ServerlessRuntime:
         blades = self.cluster.nodes_of_kind(NodeKind.MEMORY_BLADE)
         if not blades:
             return None
-        return LocalObjectStore(blades[0].attachment_device)
+        store = LocalObjectStore(blades[0].attachment_device)
+        store.metrics = self.telemetry.registry
+        return store
 
     def _raylets_for_node(self, node, spill_store) -> List[Raylet]:
         if node.kind == NodeKind.SERVER:
@@ -305,6 +357,13 @@ class ServerlessRuntime:
 
     def _record(self, kind: str, **detail: Any) -> RuntimeEvent:
         return self.log.record(self.sim.now, kind, **detail)
+
+    def _on_incident(self, ev: RuntimeEvent) -> None:
+        self.telemetry.registry.counter(
+            "skadi_incidents_total",
+            "control-plane incidents by event-log kind",
+            kind=ev.kind,
+        ).inc()
 
     @property
     def events(self) -> List[RuntimeEvent]:
@@ -516,6 +575,8 @@ class ServerlessRuntime:
         self.lineage.record(spec, [oid])
         ctx = _TaskCtx(spec, ref, Signal(self.sim))
         ctx.timeline.submitted = self.sim.now
+        self._open_task_span(ctx)
+        self._m_submitted.inc()
         self._ctxs[spec.task_id] = ctx
         self._ctx_of_object[oid] = ctx
         self._open_tasks += 1
@@ -548,9 +609,81 @@ class ServerlessRuntime:
             self._dispatch(ctx, preplaced=preplaced)
         else:
             self._waiting.append(ctx)
+            self._m_waiting.set(float(len(self._waiting)))
 
     def _deps_ready(self, spec: TaskSpec) -> bool:
         return all(self.ownership.is_ready(r.object_id) for r in spec.dependencies)
+
+    # -- span tracing --------------------------------------------------------
+
+    def _open_task_span(self, ctx: _TaskCtx, replayed: bool = False) -> None:
+        """Open the task's causal span.  Links point at the spans of the
+        input producers; the trace id propagates from the first one, so a
+        connected DAG shares one trace."""
+        spec = ctx.spec
+        links: List[str] = []
+        trace_id: Optional[str] = None
+        for dep in spec.dependencies:
+            producer = self._ctx_of_object.get(dep.object_id)
+            if producer is not None and producer.span is not None:
+                links.append(producer.span.span_id)
+                if trace_id is None:
+                    trace_id = producer.span.trace_id
+        ctx.span = self.telemetry.tracer.start_span(
+            spec.name or spec.task_id,
+            "task",
+            trace_id=trace_id,
+            links=tuple(links),
+            start=self.sim.now,
+            task_id=spec.task_id,
+            replayed=replayed,
+        )
+
+    def _span_of(self, ctx: _TaskCtx) -> Optional[Span]:
+        """The task's span — clones borrow the original's."""
+        if ctx.span is not None:
+            return ctx.span
+        main = self._ctxs.get(ctx.spec.task_id)
+        return main.span if main is not None else None
+
+    def _finish_task_span(self, main: _TaskCtx, winner: _TaskCtx) -> None:
+        """Close the task span with the winning attempt's milestones and
+        emit its phase children (the critical-path extractor's raw input)."""
+        span = main.span
+        if span is None or not span.is_open:
+            return
+        tl = winner.timeline
+        if winner.device is not None:
+            span.node = winner.device.node_id
+            span.device = winner.device.device_id
+        span.attrs.update(
+            dispatched=tl.dispatched,
+            inputs_ready=tl.inputs_ready,
+            started=tl.started,
+            retries=main.retries,
+        )
+        span.finish(tl.finished)
+        for phase, category, lo, hi in (
+            ("schedule", "queue", tl.submitted, tl.dispatched),
+            ("resolve-inputs", "transfer", tl.dispatched, tl.inputs_ready),
+            ("wait-device", "queue", tl.inputs_ready, tl.started),
+            ("execute", "compute", tl.started, tl.finished),
+        ):
+            if hi - lo > 0:
+                self.telemetry.tracer.emit(
+                    f"{span.name}:{phase}",
+                    category,
+                    lo,
+                    hi,
+                    parent=span,
+                    node=span.node,
+                    device=span.device,
+                )
+
+    def _close_failed_span(self, ctx: _TaskCtx, error: str) -> None:
+        if ctx.span is not None and ctx.span.is_open:
+            ctx.span.attrs.update(error=error, retries=ctx.retries)
+            ctx.span.finish(self.sim.now)
 
     def _dispatch(self, ctx: _TaskCtx, preplaced: bool = False) -> None:
         spec = ctx.spec
@@ -630,12 +763,24 @@ class ServerlessRuntime:
         entry = self.ownership.entry(object_id)
         dst_store = ctx.raylet.store_of(ctx.device.device_id)
         if src_store is not dst_store:
-            yield self.net.transfer(
-                src_store.device.device_id,
-                ctx.device.device_id,
-                entry.nbytes,
-                label=f"push:{object_id}",
+            span = self.telemetry.tracer.start_span(
+                f"push:{object_id}",
+                "transfer",
+                parent=self._span_of(ctx),
+                node=ctx.device.node_id,
+                device=ctx.device.device_id,
+                object_id=object_id,
+                nbytes=entry.nbytes,
             )
+            try:
+                yield self.net.transfer(
+                    src_store.device.device_id,
+                    ctx.device.device_id,
+                    entry.nbytes,
+                    label=f"push:{object_id}",
+                )
+            finally:
+                span.finish(self.sim.now)
             if not dst_store.contains(object_id):
                 dst_store.put(object_id, src_store.get(object_id).value, entry.nbytes)
                 self.ownership.add_location(object_id, ctx.device.node_id)
@@ -652,6 +797,21 @@ class ServerlessRuntime:
         it skips the GCS and pull-request RPCs; it still pays its control
         handling and the intra-card transfer through the DPU.
         """
+        assert ctx.device is not None and ctx.raylet is not None
+        span = self.telemetry.tracer.start_span(
+            f"pull:{ref.object_id}",
+            "transfer",
+            parent=self._span_of(ctx),
+            node=ctx.device.node_id,
+            device=ctx.device.device_id,
+            object_id=ref.object_id,
+        )
+        try:
+            yield from self._pull_inner(ref, ctx)
+        finally:
+            span.finish(self.sim.now)
+
+    def _pull_inner(self, ref: ObjectRef, ctx: _TaskCtx) -> Generator:
         assert ctx.device is not None and ctx.raylet is not None
         raylet = ctx.raylet
         sibling_store = raylet.find_object(ref.object_id)
@@ -728,6 +888,20 @@ class ServerlessRuntime:
                 for ref in spec.dependencies
                 if not local_store.contains(ref.object_id)
             ]
+            hits = len(spec.dependencies) - len(missing)
+            reg = self.telemetry.registry
+            if hits:
+                reg.counter(
+                    "skadi_store_hits_total",
+                    "task arguments already resident on the executing device",
+                    device=device.device_id,
+                ).inc(hits)
+            if missing:
+                reg.counter(
+                    "skadi_store_misses_total",
+                    "task arguments that had to be fetched over the fabric",
+                    device=device.device_id,
+                ).inc(len(missing))
             if self.config.resolution == ResolutionMode.PULL:
                 if missing:
                     yield self.sim.all_of(
@@ -833,6 +1007,10 @@ class ServerlessRuntime:
             ):
                 loser.proc.interrupt("speculative twin won")
             self.tasks_finished += 1
+            self._m_finished.inc()
+            self._m_latency.observe(ctx.timeline.latency)
+            self._m_stall.observe(ctx.timeline.input_stall)
+            self._finish_task_span(main, ctx)
             self._open_tasks = max(0, self._open_tasks - 1)
             if self.config.track_task_timeline:
                 self.timelines.append(ctx.timeline)
@@ -898,7 +1076,20 @@ class ServerlessRuntime:
             )
             return
         self.tasks_retried += 1
+        self._m_retried.inc()
         delay = self._backoff_delay(ctx)
+        span = self._span_of(ctx)
+        if span is not None:
+            # the backoff window is pure recovery time on any path through it
+            self.telemetry.tracer.emit(
+                f"{ctx.spec.name or ctx.spec.task_id}:backoff",
+                "recovery",
+                self.sim.now,
+                self.sim.now + delay,
+                parent=span,
+                retry=ctx.retries,
+                cause=cause,
+            )
         self._record(
             "task_retry",
             task=ctx.spec.task_id,
@@ -926,6 +1117,8 @@ class ServerlessRuntime:
         ctx.state = TaskState.FAILED
         ctx.error = error
         self.tasks_failed += 1
+        self._m_failed.inc()
+        self._close_failed_span(ctx, error)
         self._open_tasks = max(0, self._open_tasks - 1)
         self._record(
             "task_failed", task=ctx.spec.task_id, name=ctx.spec.name, error=error
@@ -992,6 +1185,7 @@ class ServerlessRuntime:
         clone.state = TaskState.SCHEDULED
         clone.attempt = 1
         ctx.twin = clone
+        self._m_speculations.inc()
         self._record(
             "speculate",
             task=ctx.spec.task_id,
@@ -1063,6 +1257,7 @@ class ServerlessRuntime:
             else:
                 still_waiting.append(ctx)
         self._waiting = still_waiting
+        self._m_waiting.set(float(len(self._waiting)))
 
     # -- actors ------------------------------------------------------------------------
 
@@ -1178,6 +1373,7 @@ class ServerlessRuntime:
         self._actor_locks.pop(actor_id, None)  # in-flight calls died with the node
         self.sim.schedule(read_cost, lambda: None)  # charge the checkpoint read
         self.actor_restarts += 1
+        self._m_restarts.inc()
         self._record(
             "actor_restart", actor=actor_id, device=device.device_id, cause=cause
         )
@@ -1401,6 +1597,8 @@ class ServerlessRuntime:
                 entry.locations.clear()
             ctx = _TaskCtx(spec, ObjectRef(old_ids[0], task_id=spec.task_id), Signal(self.sim))
             ctx.timeline.submitted = self.sim.now
+            self._open_task_span(ctx, replayed=True)
+            self._m_replays.inc()
             self._ctxs[spec.task_id] = ctx
             self._ctx_of_object[old_ids[0]] = ctx
             self._open_tasks += 1
@@ -1430,6 +1628,43 @@ class ServerlessRuntime:
         if ctx is None:
             raise KeyError(f"no task produced {ref.object_id!r}")
         return ctx.timeline
+
+    # -- telemetry introspection ---------------------------------------------
+
+    def metrics_summary(self) -> Dict[str, float]:
+        """Flat ``{name{labels}: value}`` snapshot of every instrument
+        (histograms report their observation count)."""
+        out: Dict[str, float] = {}
+        for family in self.telemetry.registry.families():
+            for inst in family.instruments():
+                labels = inst.labels_dict
+                suffix = (
+                    "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels
+                    else ""
+                )
+                out[family.name + suffix] = float(inst.value)
+        return out
+
+    def span_of(self, ref: ObjectRef) -> Optional[Span]:
+        """The task span that produced ``ref`` (None for driver puts)."""
+        ctx = self._ctx_of_object.get(ref.object_id)
+        return None if ctx is None else ctx.span
+
+    def critical_path(self, ref: ObjectRef) -> CriticalPathResult:
+        """Latency attribution for the chain ending at ``ref``'s producer."""
+        span = self.span_of(ref)
+        if span is None:
+            raise KeyError(f"no traced task produced {ref.object_id!r}")
+        return extract_critical_path(self.telemetry.tracer.finished_spans(), span)
+
+    def telemetry_report(
+        self, critical_path: Optional[CriticalPathResult] = None
+    ):
+        """Paper-style summary tables over the metrics plane."""
+        from ..telemetry.report import TelemetryReport  # sits above this layer
+
+        return TelemetryReport(self, critical_path)
 
 
 def make_reliable_cache(cluster: Cluster, redundancy) -> CachingLayer:

@@ -12,7 +12,7 @@ event-driven plumbing around it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..cluster.cluster import Cluster
 from ..cluster.hardware import Device
@@ -37,6 +37,7 @@ class Scheduler:
         policy: SchedulingPolicy,
         schedulable_devices: Sequence[Device],
         endpoint: str,
+        metrics=None,
     ):
         if not schedulable_devices:
             raise PlacementError("no schedulable devices in the cluster")
@@ -44,6 +45,7 @@ class Scheduler:
         self.ownership = ownership
         self.policy = policy
         self.endpoint = endpoint  # where the scheduler runs (control messages)
+        self.metrics = metrics  # optional telemetry MetricsRegistry
         self._devices = list(schedulable_devices)
         self._outstanding: Dict[str, int] = {d.device_id: 0 for d in self._devices}
         self._rr_cursor = 0
@@ -72,9 +74,19 @@ class Scheduler:
 
     def task_started(self, device_id: str) -> None:
         self._outstanding[device_id] = self._outstanding.get(device_id, 0) + 1
+        self._meter_outstanding(device_id)
 
     def task_finished(self, device_id: str) -> None:
         self._outstanding[device_id] = max(0, self._outstanding.get(device_id, 0) - 1)
+        self._meter_outstanding(device_id)
+
+    def _meter_outstanding(self, device_id: str) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "skadi_device_outstanding_tasks",
+                "tasks running or queued on each device",
+                device=device_id,
+            ).set(float(self._outstanding.get(device_id, 0)))
 
     def outstanding(self, device_id: str) -> int:
         return self._outstanding.get(device_id, 0)
@@ -105,6 +117,9 @@ class Scheduler:
         return matches
 
     def place(self, task: TaskSpec) -> Device:
+        return self._meter_placement(self._pick(task))
+
+    def _pick(self, task: TaskSpec) -> Device:
         candidates = self.candidates(task)
         if len(candidates) == 1:
             return candidates[0]
@@ -117,6 +132,16 @@ class Scheduler:
         if self.policy == SchedulingPolicy.LOCALITY:
             return self._place_locality(task, candidates)
         raise ValueError(f"unknown policy {self.policy}")
+
+    def _meter_placement(self, device: Device) -> Device:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "skadi_placements_total",
+                "placement decisions by policy and chosen device",
+                policy=self.policy.value,
+                device=device.device_id,
+            ).inc()
+        return device
 
     def _place_locality(self, task: TaskSpec, candidates: List[Device]) -> Device:
         """Data-centric: minimize estimated bytes-over-links to gather inputs,
@@ -169,6 +194,6 @@ class Scheduler:
             device = min(
                 options, key=lambda d: (self.outstanding(d.device_id), d.device_id)
             )
-            placements[task.task_id] = device
+            placements[task.task_id] = self._meter_placement(device)
             taken.add(device.device_id)
         return placements

@@ -1,0 +1,117 @@
+"""Chrome-trace event generation from spans and metric time series.
+
+Two additions over the timeline-only exporter in ``repro.runtime.trace``:
+
+* **flow arrows** — every causal link between task spans becomes a paired
+  ``"s"`` (start, at the producer's finish) / ``"f"`` (finish, at the
+  consumer's resume) flow event, so Perfetto draws the arrows that make a
+  distributed DAG legible;
+* **counter events** — every gauge sample becomes a ``"C"`` event, so
+  queue depths, bytes resident, and outstanding tasks render as stacked
+  area charts under the span rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .metrics import MetricsRegistry
+from .spans import Span
+
+__all__ = ["spans_to_chrome_events", "counters_to_chrome_events"]
+
+
+def _pid(span: Span) -> str:
+    return span.node or "driver"
+
+
+def _tid(span: Span) -> str:
+    return span.device or span.category
+
+
+def spans_to_chrome_events(spans: Sequence[Span], flows: bool = True) -> List[dict]:
+    """Finished spans as complete ("X") events plus causal flow arrows."""
+    events: List[dict] = []
+    by_id = {s.span_id: s for s in spans}
+    for span in spans:
+        if span.is_open:
+            continue
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(span.duration * 1e6, 0.01),
+                "pid": _pid(span),
+                "tid": _tid(span),
+                "args": {
+                    "span_id": span.span_id,
+                    "trace_id": span.trace_id,
+                    "parent_id": span.parent_id or "",
+                    **{k: repr(v) for k, v in sorted(span.attrs.items())},
+                },
+            }
+        )
+    if not flows:
+        return events
+    flow_id = 0
+    for span in spans:
+        if span.is_open:
+            continue
+        for link_id in span.links:
+            producer = by_id.get(link_id)
+            if producer is None or producer.is_open:
+                continue
+            flow_id += 1
+            common = {"name": "causal", "cat": "flow", "id": flow_id}
+            events.append(
+                {
+                    **common,
+                    "ph": "s",
+                    "ts": producer.end * 1e6,
+                    "pid": _pid(producer),
+                    "tid": _tid(producer),
+                }
+            )
+            events.append(
+                {
+                    **common,
+                    "ph": "f",
+                    "bp": "e",  # bind to the enclosing slice
+                    "ts": max(span.start, producer.end) * 1e6,
+                    "pid": _pid(span),
+                    "tid": _tid(span),
+                }
+            )
+    return events
+
+
+def counters_to_chrome_events(
+    registry: MetricsRegistry, pid: str = "metrics"
+) -> List[dict]:
+    """Every gauge sample as a counter ("C") event on a metrics process."""
+    events: List[dict] = []
+    for family in registry.families():
+        if family.kind != "gauge":
+            continue
+        for inst in family.instruments():
+            labels = inst.labels_dict
+            suffix = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            series = family.name + suffix
+            for t, value in inst.samples:
+                events.append(
+                    {
+                        "name": series,
+                        "cat": "metric",
+                        "ph": "C",
+                        "ts": t * 1e6,
+                        "pid": pid,
+                        "args": {"value": value},
+                    }
+                )
+    return events

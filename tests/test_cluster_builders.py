@@ -6,14 +6,12 @@ import pytest
 
 from repro.cluster.cluster import (
     build_logical_disagg,
-    build_physical_disagg,
     build_serverful,
     build_tightly_coupled,
 )
 from repro.cluster.durable import DurableStore
 from repro.cluster.hardware import MB, DeviceKind
 from repro.cluster.node import NodeKind
-from repro.cluster.simtime import Simulator
 
 
 class TestServerful:

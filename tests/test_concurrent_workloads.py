@@ -9,10 +9,8 @@ check that results stay correct and isolated.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro import RecordBatch, Skadi, col, lit
-from repro.bench.workloads import customers_table, orders_table
+from repro import RecordBatch, Skadi
 from repro.cluster import build_physical_disagg
 from repro.frontends import (
     MapReduceJob,
@@ -23,7 +21,7 @@ from repro.frontends import (
     micro_batches,
 )
 from repro.frontends.sql import sql_to_ir
-from repro.ir import FrameType, run_function
+from repro.ir import run_function
 from repro.runtime import ServerlessRuntime
 
 

@@ -48,7 +48,7 @@ class TestLogicalGraph:
 
     def test_validation_checks_ir_arity(self):
         g = FlowGraph()
-        v = g.add_vertex("f", ir_func=ir_filter())  # needs one input
+        g.add_vertex("f", ir_func=ir_filter())  # needs one input
         with pytest.raises(GraphValidationError, match="expects 1 inputs"):
             g.validate()
 
@@ -209,7 +209,6 @@ class TestPhysicalLowering:
 
     def test_parallelism_override_and_pins(self):
         cluster = build_physical_disagg()
-        fpga_ids = [d.device_id for d in cluster.devices_of_kind("fpga")] if False else None
         g = FlowGraph()
         s = g.add_vertex("s", source_table="t", parallelism=1)
         m = g.add_vertex("m", ir_func=ir_identity())

@@ -24,7 +24,7 @@ from repro.frontends import (
     sssp,
     training_flowgraph,
 )
-from repro.ir import col, lit, run_function
+from repro.ir import col, lit
 from repro.runtime import ServerlessRuntime
 
 

@@ -13,9 +13,7 @@ from repro.cluster.hardware import (
     MEMORY_BLADE_SPEC,
     Device,
     DeviceKind,
-    DeviceSpec,
 )
-from repro.cluster.simtime import Simulator
 
 
 class TestDeviceSpec:

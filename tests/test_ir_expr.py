@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ir.expr import BinOp, Col, FuncCall, Lit, UnaryOp, col, lit
+from repro.ir.expr import BinOp, FuncCall, UnaryOp, col, lit
 
 
 class TestEvaluation:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,7 +12,6 @@ from repro.ir import (
     CommonSubexpressionElimination,
     DeadCodeElimination,
     FrameType,
-    FuseElementwise,
     PassManager,
     PassStats,
     TensorType,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.hardware import FPGA_SPEC, MEMORY_BLADE_SPEC, Device
-from repro.cluster.simtime import Simulator
 from repro.runtime.object_store import LocalObjectStore, ObjectStoreFullError
 
 

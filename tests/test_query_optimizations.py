@@ -3,17 +3,14 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import Skadi
-from repro.bench.workloads import customers_table, orders_table
 from repro.core.planner import ir_to_flowgraph
 from repro.frontends.sql import sql_to_ir
-from repro.ir import FrameType, PassManager, col, lit, run_function
+from repro.ir import FrameType, PassManager, run_function
 from repro.ir.expr import BinOp, Col, FuncCall, Lit, UnaryOp
 from repro.ir.lowering import lower_relational_to_df
 from repro.ir.relational_passes import (
-    PushFilterThroughJoin,
     SplitConjunctiveFilter,
     relational_optimizer,
     rename_cols,

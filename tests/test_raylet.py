@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.hardware import DPU_SPEC, FPGA_SPEC, Device
-from repro.cluster.simtime import Simulator
 from repro.runtime.raylet import Raylet
 
 

@@ -7,7 +7,6 @@ import pytest
 from repro.cluster.cluster import build_physical_disagg, build_serverful
 from repro.cluster.hardware import DeviceKind
 from repro.runtime import (
-    ANY_COMPUTE_KIND,
     Generation,
     ResolutionMode,
     RuntimeConfig,
@@ -238,7 +237,6 @@ class TestServerfulCluster:
 
     def test_spill_to_memory_blade(self):
         # store overflow spills to the disaggregated memory blade
-        from repro.cluster.hardware import CPU_SERVER_SPEC
         cluster = build_physical_disagg(n_servers=1)
         rt = ServerlessRuntime(cluster)
         cpu = cluster.node("server0").first_of_kind(DeviceKind.CPU)

@@ -8,7 +8,6 @@ from repro.caching.replication import ErasureCode, ReplicationScheme
 from repro.cluster.cluster import build_physical_disagg, build_serverful
 from repro.cluster.hardware import DeviceKind
 from repro.runtime import (
-    Generation,
     ResolutionMode,
     RuntimeConfig,
     ServerlessRuntime,
@@ -71,8 +70,6 @@ class TestLineageRecovery:
 
     def test_midflight_interrupt_resubmits_elsewhere(self):
         rt = pull_runtime(cluster=build_serverful(n_servers=2))
-        cluster = rt.cluster
-        cpu0 = cluster.node("server0").first_of_kind(DeviceKind.CPU)
         # long task pinned nowhere: scheduler picks some cpu; find its node
         ref = rt.submit(lambda: "done", compute_cost=10.0, name="long")
         rt.run(until=1.0)  # task is mid-execution
@@ -234,6 +231,59 @@ class TestGetTimeout:
         slow = rt.submit(lambda: "s", compute_cost=1.0)
         with pytest.raises(GetTimeoutError, match="1/2 refs unresolved"):
             rt.get([fast, slow], timeout=0.05)
+
+
+class TestGetTimeoutDuringRecovery:
+    """``get(timeout=)`` expiring mid-retry/mid-replay is an observer event:
+    it must not mark the task failed or poison the in-flight recovery."""
+
+    def test_timeout_during_retry_does_not_poison_it(self):
+        from repro.chaos import ChaosMonkey, ChaosSchedule
+        from repro.runtime import GetTimeoutError
+
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=2),
+            RuntimeConfig(
+                resolution=ResolutionMode.PULL,
+                max_retries=10,
+                retry_backoff_base=5e-3,
+            ),
+        )
+        # server1 is unreachable at submit time; the lease drops, the task
+        # enters retry backoff, and the partition heals at 20ms
+        schedule = ChaosSchedule().partition(0.0, [["server1"]], heal_after=2e-2)
+        ChaosMonkey(rt, schedule).arm()
+        cpu1 = rt.cluster.node("server1").first_of_kind(DeviceKind.CPU)
+        ref = rt.submit(
+            lambda: "survived", compute_cost=1e-3, pinned_device=cpu1.device_id
+        )
+        # expire while the first retry is still backing off
+        with pytest.raises(GetTimeoutError, match="unresolved after timeout"):
+            rt.get(ref, timeout=2e-3)
+        assert rt.tasks_failed == 0  # observer timeout, not a task failure
+        # the retry machinery keeps running: a patient get resolves
+        assert rt.get(ref) == "survived"
+        assert rt.tasks_retried >= 1
+        assert rt.tasks_failed == 0
+
+    def test_timeout_during_lineage_replay_does_not_poison_it(self):
+        from repro.runtime import GetTimeoutError
+
+        rt = pull_runtime()
+        cpu = rt.cluster.node("server0").first_of_kind(DeviceKind.CPU)
+        ref = rt.submit(
+            lambda: "rebuilt", compute_cost=5e-2, pinned_device=cpu.device_id
+        )
+        assert rt.get(ref) == "rebuilt"
+        rt.fail_node("server0")
+        rt.restart_node("server0")
+        # this get kicks off the lineage replay, then expires mid-rebuild
+        with pytest.raises(GetTimeoutError, match="unresolved after timeout"):
+            rt.get(ref, timeout=1e-3)
+        assert rt.tasks_failed == 0
+        assert rt.get(ref) == "rebuilt"  # replay finished despite the timeout
+        assert rt.lineage.replays >= 1
+        assert rt.tasks_failed == 0
 
 
 class TestDeadActorPath:

@@ -5,7 +5,6 @@ from __future__ import annotations
 import io
 import json
 
-import numpy as np
 import pytest
 
 from repro.cluster import DeviceKind, DurableStore, build_physical_disagg

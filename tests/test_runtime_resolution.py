@@ -6,12 +6,10 @@ shapes live in benchmarks/test_fig3_gen1_gen2.py and test_e1_pull_vs_push.py.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster.cluster import build_physical_disagg
 from repro.cluster.hardware import DeviceKind
 from repro.runtime import (
-    ANY_COMPUTE_KIND,
     Generation,
     ResolutionMode,
     RuntimeConfig,

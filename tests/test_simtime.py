@@ -4,17 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.simtime import (
-    AllOf,
-    AnyOf,
-    Channel,
-    Interrupt,
-    Resource,
-    Signal,
-    SimulationError,
-    Simulator,
-    Timeout,
-)
+from repro.cluster.simtime import Channel, Interrupt, Resource, Signal, SimulationError
 
 
 class TestScheduling:

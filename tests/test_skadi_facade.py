@@ -2,15 +2,14 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro import RecordBatch, Skadi, col, lit
+from repro import Skadi, col, lit
 from repro.cluster import build_physical_disagg, build_serverful
 from repro.core.planner import PlanningError, ir_to_flowgraph
 from repro.frontends.dataframe import from_batch
 from repro.frontends.sql import sql_to_ir
-from repro.ir import Builder, FrameType, TensorType, run_function
+from repro.ir import Builder, TensorType, run_function
 from repro.runtime import Generation, ResolutionMode, RuntimeConfig
 
 from conftest import assert_batches_close

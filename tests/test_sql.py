@@ -10,14 +10,12 @@ from repro.frontends.sql import (
     SQLPlanError,
     SQLSyntaxError,
     parse_select,
-    plan_select,
     sql_to_ir,
     tokenize,
 )
 from repro.ir import run_function
-from repro.ir.expr import BinOp, Col, Lit
+from repro.ir.expr import BinOp
 
-from conftest import assert_batches_close
 
 
 class TestLexer:
