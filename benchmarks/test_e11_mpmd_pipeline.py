@@ -65,5 +65,5 @@ def test_e11_pipeline_bubble_amortization(benchmark):
     # ...while the math never changes (GPipe gradient accumulation)
     ref = serial_reference_training(DIMS, X, y, epochs=1, lr=0.02, seed=7)
     for _, _, weights in rows:
-        for W_dist, W_ref in zip(weights, ref):
+        for W_dist, W_ref in zip(weights, ref, strict=False):
             np.testing.assert_allclose(W_dist, W_ref)

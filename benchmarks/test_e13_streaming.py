@@ -73,7 +73,7 @@ def test_e13_streaming_pipeline(benchmark):
     # single-process oracle
     local = make_job().run_local(make_stream())
     assert len(out_pipe) == len(local)
-    for d, l in zip(out_pipe, local):
+    for d, l in zip(out_pipe, local, strict=False):
         assert d == l
     closes = [o.num_rows > 0 for o in out_pipe]
     assert sum(closes) == N_BATCHES // WINDOW

@@ -152,7 +152,7 @@ def test_e18_critical_path(benchmark):
     assert result.breakdown["recovery"] == 0.0  # failure-free run
     assert result.task_ids() == [rt_ref.task_id for rt_ref in chain_refs]
     # the path is gapless and covers the whole latency window
-    for prev, nxt in zip(result.segments, result.segments[1:]):
+    for prev, nxt in zip(result.segments, result.segments[1:], strict=False):
         assert prev.end == pytest.approx(nxt.start)
     assert sum(result.fractions.values()) == pytest.approx(1.0)
     assert sum(result.breakdown.values()) == pytest.approx(result.total)

@@ -97,7 +97,7 @@ def test_e1_pull_vs_push(benchmark):
         )
     table.show()
 
-    for cost, t_pull, t_push, gap_pull, gap_push, m_pull, m_push in rows:
+    for _cost, t_pull, t_push, gap_pull, gap_push, m_pull, m_push in rows:
         # push always hands data off faster and with fewer control messages
         assert gap_push < gap_pull
         assert m_push < m_pull

@@ -126,7 +126,7 @@ def test_fig1_deployment_models(benchmark):
         )
     table.show()
 
-    for nbytes, serverful, stateless, skadi in results:
+    for _nbytes, serverful, stateless, skadi in results:
         # the durable bounce dominates stateless latency
         assert skadi.latency < stateless.latency / 3
         # the distributed runtime stays within ~4x of dedicated servers

@@ -63,6 +63,7 @@ def test_fig2_sql_through_all_tiers(benchmark):
         out.column("l_returnflag").tolist(),
         out.column("revenue").tolist(),
         out.column("n").tolist(),
+        strict=False,
     ):
         sel = flags == flag
         assert n == int(sel.sum())

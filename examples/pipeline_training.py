@@ -52,7 +52,7 @@ def main() -> None:
 
     # bit-identical to serial full-batch training
     reference = serial_reference_training(DIMS, X, y, epochs=EPOCHS, lr=0.02, seed=3)
-    for W_dist, W_ref in zip(trainer.weights(), reference):
+    for W_dist, W_ref in zip(trainer.weights(), reference, strict=False):
         assert np.allclose(W_dist, W_ref)
     print("weights match the single-process oracle exactly")
 

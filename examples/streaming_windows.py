@@ -61,13 +61,13 @@ def main() -> None:
             f"s{int(s)}:{m:.2f}({int(n)})"
             for s, m, n in zip(
                 out.column("sensor"), out.column("mean_v"), out.column("n")
-            )
+            , strict=False)
         )
         print(f"  t={t:>2}  {parts}")
 
     # every emission matches the single-process oracle
     local = job.run_local(stream)
-    assert all(d == l for d, l in zip(outputs, local))
+    assert all(d == l for d, l in zip(outputs, local, strict=False))
     print(f"\nall {sum(o.num_rows > 0 for o in outputs)} windows match the "
           f"single-process oracle")
     print(f"{rt.tasks_finished} tasks in {fmt_seconds(rt.sim.now)} virtual time")

@@ -1,0 +1,110 @@
+"""Pass-level miscompile bisection.
+
+When an optimized program is wrong, the question is never "is the pipeline
+broken" but "*which pass* broke it".  ``PassManager(verify_each=True)``
+already answers that by verifying after every individual pass application
+and raising :class:`MiscompileError` naming the first offender; this module
+wraps it into a report with the IR diff across the guilty rewrite, and a
+non-destructive entry point that works on a clone of the function.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ir.core import Function, Operation, Value
+from ..ir.passes import MiscompileError, Pass, PassManager
+
+__all__ = ["MiscompileReport", "bisect_miscompile", "clone_function"]
+
+
+def clone_function(func: Function) -> Function:
+    """Structural deep copy: fresh Value/Operation objects, shared attrs.
+
+    Values are identified by object id, so passes mutate functions in
+    place; cloning first lets the bisector run the (possibly broken)
+    pipeline without destroying the caller's IR."""
+    mapping: Dict[int, Value] = {}
+
+    def remap(value: Value) -> Value:
+        copy = mapping.get(id(value))
+        if copy is None:
+            copy = Value(value.name, value.type)
+            mapping[id(value)] = copy
+        return copy
+
+    clone = Function(func.name, [remap(p) for p in func.params])
+    for op in func.ops:
+        new_op = Operation(op.dialect, op.name, [remap(v) for v in op.operands], dict(op.attrs))
+        new_op.results = [remap(v) for v in op.results]
+        for result in new_op.results:
+            result.producer = new_op
+        clone.ops.append(new_op)
+    clone.returns = [remap(v) for v in func.returns]
+    return clone
+
+
+@dataclass
+class MiscompileReport:
+    """Which pass first broke which invariant, with the offending rewrite."""
+
+    pass_name: str
+    function_name: str
+    iteration: int
+    cause: str
+    before_text: str
+    after_text: str
+
+    @classmethod
+    def from_error(cls, exc: MiscompileError) -> "MiscompileReport":
+        return cls(
+            pass_name=exc.pass_name,
+            function_name=exc.function_name,
+            iteration=exc.iteration,
+            cause=exc.cause,
+            before_text=exc.before_text,
+            after_text=exc.after_text,
+        )
+
+    def diff(self) -> str:
+        """Unified diff of the guilty rewrite (before vs after the pass)."""
+        return "".join(
+            difflib.unified_diff(
+                self.before_text.splitlines(keepends=True),
+                self.after_text.splitlines(keepends=True),
+                fromfile=f"{self.function_name} (before {self.pass_name})",
+                tofile=f"{self.function_name} (after {self.pass_name})",
+                lineterm="\n",
+            )
+        )
+
+    def render(self) -> str:
+        return (
+            f"miscompile: pass {self.pass_name!r} broke {self.function_name!r} "
+            f"on iteration {self.iteration}\n"
+            f"invariant: {self.cause}\n"
+            f"{self.diff()}"
+        )
+
+
+def bisect_miscompile(
+    func: Function,
+    passes: Optional[List[Pass]] = None,
+    max_iterations: int = 50,
+    in_place: bool = False,
+) -> Optional[MiscompileReport]:
+    """Run the pipeline with verify-after-each-pass and report the first
+    invariant-breaking pass, or None when the pipeline is clean.
+
+    By default the pipeline runs on a clone, so the input function is left
+    untouched whatever happens; pass ``in_place=True`` to keep the (partly
+    optimized, possibly broken) IR for inspection."""
+    target = func if in_place else clone_function(func)
+    manager = PassManager(passes, max_iterations=max_iterations, verify_each=True)
+    try:
+        manager.run(target)
+    except MiscompileError as exc:
+        return MiscompileReport.from_error(exc)
+    return None

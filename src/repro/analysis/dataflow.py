@@ -1,0 +1,277 @@
+"""Reusable dataflow analyses over flat SSA functions.
+
+The IR's functions are single straight-line regions, so every classical
+bit-vector analysis degenerates to one forward or backward sweep — but the
+framework is written in the standard gen/kill style so new analyses are a
+subclass, not a new algorithm:
+
+* :func:`def_use` — def-use chains (where each value is defined and used)
+* :class:`Liveness` — which values are live before/after each op
+* :class:`ReachingDefinitions` — which definitions reach each program point
+* :func:`buffer_effects` — read/write/opaque effect summaries plus a
+  may-alias relation for the kernel dialect (opaque ``kernel.call`` results
+  may alias their operand buffers; everything else produces fresh buffers)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..ir.core import Function, Operation, Value
+
+__all__ = [
+    "DefUse",
+    "def_use",
+    "DataflowAnalysis",
+    "Liveness",
+    "ReachingDefinitions",
+    "Effect",
+    "BufferSummary",
+    "buffer_effects",
+    "AliasSets",
+]
+
+
+# -- def-use chains --------------------------------------------------------------
+
+PARAM_SITE = -1  # def site index meaning "function parameter"
+
+
+@dataclass
+class DefUse:
+    """Def-use chains: value id -> def site (op index or PARAM_SITE) and
+    the op indices that read it (returns tracked separately)."""
+
+    func: Function
+    def_site: Dict[int, int] = field(default_factory=dict)
+    use_sites: Dict[int, List[int]] = field(default_factory=dict)
+    returned: Set[int] = field(default_factory=set)
+    values: Dict[int, Value] = field(default_factory=dict)
+
+    def uses_of(self, value: Value) -> List[int]:
+        return list(self.use_sites.get(id(value), []))
+
+    def is_dead(self, value: Value) -> bool:
+        return not self.use_sites.get(id(value)) and id(value) not in self.returned
+
+    def dead_results(self) -> List[Tuple[int, Operation, Value]]:
+        """(op index, op, result) for every result nothing consumes."""
+        out = []
+        for index, op in enumerate(self.func.ops):
+            for value in op.results:
+                if self.is_dead(value):
+                    out.append((index, op, value))
+        return out
+
+
+def def_use(func: Function) -> DefUse:
+    chains = DefUse(func)
+    for param in func.params:
+        chains.def_site[id(param)] = PARAM_SITE
+        chains.values[id(param)] = param
+    for index, op in enumerate(func.ops):
+        for operand in op.operands:
+            chains.use_sites.setdefault(id(operand), []).append(index)
+        for value in op.results:
+            chains.def_site[id(value)] = index
+            chains.values[id(value)] = value
+    for value in func.returns:
+        chains.returned.add(id(value))
+    return chains
+
+
+# -- gen/kill framework ----------------------------------------------------------
+
+
+class DataflowAnalysis:
+    """Classical gen/kill dataflow over the op list.
+
+    Subclasses define direction and the per-op ``gen``/``kill`` sets over
+    value ids; ``solve`` produces the in/out set at every op index.  On a
+    straight-line region a single sweep reaches the fixpoint, but the
+    solver iterates anyway so region-structured IR can reuse it later.
+    """
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+    direction = FORWARD
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.in_sets: List[FrozenSet[int]] = []
+        self.out_sets: List[FrozenSet[int]] = []
+
+    # subclass interface ----------------------------------------------------
+
+    def boundary(self) -> Set[int]:
+        """The set at the region entry (forward) or exit (backward)."""
+        return set()
+
+    def gen(self, op: Operation) -> Set[int]:
+        raise NotImplementedError
+
+    def kill(self, op: Operation) -> Set[int]:
+        raise NotImplementedError
+
+    # solver ----------------------------------------------------------------
+
+    def transfer(self, op: Operation, state: Set[int]) -> Set[int]:
+        return (state - self.kill(op)) | self.gen(op)
+
+    def solve(self) -> "DataflowAnalysis":
+        ops = self.func.ops
+        n = len(ops)
+        ins: List[Set[int]] = [set() for _ in range(n)]
+        outs: List[Set[int]] = [set() for _ in range(n)]
+        changed = True
+        while changed:
+            changed = False
+            if self.direction == self.FORWARD:
+                state = self.boundary()
+                for i in range(n):
+                    if ins[i] != state:
+                        ins[i] = set(state)
+                        changed = True
+                    state = self.transfer(ops[i], state)
+                    if outs[i] != state:
+                        outs[i] = set(state)
+                        changed = True
+            else:
+                state = self.boundary()
+                for i in range(n - 1, -1, -1):
+                    if outs[i] != state:
+                        outs[i] = set(state)
+                        changed = True
+                    state = self.transfer(ops[i], state)
+                    if ins[i] != state:
+                        ins[i] = set(state)
+                        changed = True
+        self.in_sets = [frozenset(s) for s in ins]
+        self.out_sets = [frozenset(s) for s in outs]
+        return self
+
+
+class Liveness(DataflowAnalysis):
+    """Backward: a value is live where a later use (or the return) needs it.
+
+    ``in_sets[i]`` is live-before op ``i``; ``out_sets[i]`` live-after."""
+
+    direction = DataflowAnalysis.BACKWARD
+
+    def boundary(self) -> Set[int]:
+        return {id(v) for v in self.func.returns}
+
+    def gen(self, op: Operation) -> Set[int]:
+        return {id(v) for v in op.operands}
+
+    def kill(self, op: Operation) -> Set[int]:
+        return {id(v) for v in op.results}
+
+    def live_after(self, index: int) -> FrozenSet[int]:
+        return self.out_sets[index]
+
+    def is_live_after(self, index: int, value: Value) -> bool:
+        return id(value) in self.out_sets[index]
+
+
+class ReachingDefinitions(DataflowAnalysis):
+    """Forward: which definitions reach each program point.  In SSA nothing
+    is ever killed, so ``in_sets[i]`` is exactly the set of values legal to
+    use at op ``i`` — the verifier's def-before-use rule as a lattice."""
+
+    direction = DataflowAnalysis.FORWARD
+
+    def boundary(self) -> Set[int]:
+        return {id(p) for p in self.func.params}
+
+    def gen(self, op: Operation) -> Set[int]:
+        return {id(v) for v in op.results}
+
+    def kill(self, op: Operation) -> Set[int]:
+        return set()  # SSA: a definition is never re-defined
+
+    def reaches(self, index: int, value: Value) -> bool:
+        return id(value) in self.in_sets[index]
+
+
+# -- buffer effects / aliasing (kernel dialect) ----------------------------------
+
+
+@dataclass(frozen=True)
+class Effect:
+    """What one op does to buffers, as far as the analysis can prove.
+
+    ``opaque`` ops (handcrafted ``kernel.call``) may read or write anything
+    reachable from their operands; their results may alias operand buffers.
+    Everything else reads its operands and writes only fresh result buffers.
+    """
+
+    op_index: int
+    qualified: str
+    reads: Tuple[int, ...]  # value ids read
+    writes: Tuple[int, ...]  # value ids (buffers) written
+    opaque: bool = False
+
+
+class AliasSets:
+    """Union-find over value ids: ``may_alias(a, b)`` is True when the two
+    values may share storage."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+
+    def _find(self, x: int) -> int:
+        self._parent.setdefault(x, x)
+        while self._parent[x] != x:
+            self._parent[x] = self._parent[self._parent[x]]
+            x = self._parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def may_alias(self, a: Value, b: Value) -> bool:
+        if a is b:
+            return True
+        return self._find(id(a)) == self._find(id(b))
+
+
+@dataclass
+class BufferSummary:
+    effects: List[Effect]
+    aliases: AliasSets
+
+    def effect_of(self, index: int) -> Effect:
+        return self.effects[index]
+
+    def opaque_ops(self) -> List[Effect]:
+        return [e for e in self.effects if e.opaque]
+
+
+def buffer_effects(func: Function) -> BufferSummary:
+    """Per-op buffer effect summaries plus the may-alias relation.
+
+    Only ``kernel.call`` is opaque; a fused kernel's internal step buffers
+    are private, so its effect is still read-operands/write-result."""
+    effects: List[Effect] = []
+    aliases = AliasSets()
+    for index, op in enumerate(func.ops):
+        try:
+            pure = op.defn.pure
+        except KeyError:
+            pure = False  # unknown op: treat as opaque
+        opaque = not pure
+        reads = tuple(id(v) for v in op.operands)
+        writes = tuple(id(v) for v in op.results)
+        if opaque:
+            # an opaque kernel may return a view of (or mutate) any operand
+            writes = writes + reads
+            for result in op.results:
+                for operand in op.operands:
+                    aliases.union(id(result), id(operand))
+        effects.append(Effect(index, op.qualified, reads, writes, opaque))
+    return BufferSummary(effects, aliases)

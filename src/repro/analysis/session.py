@@ -1,0 +1,125 @@
+"""Analysis sessions: observe a whole program run and lint everything in it.
+
+The CLI cannot see a user program's intermediate IR or physical plans — they
+live inside ``Skadi`` calls.  An :class:`AnalysisSession` is a thread-local
+collector that the pipeline reports into from three choke points (the hooks
+are lazy one-liners in the production code):
+
+* ``PassManager.run`` — forces verify-after-each-pass and, once a function
+  reaches its fixpoint, strict-verifies and lints it
+* ``Skadi._run_ir`` — catches functions that skip the pass pipeline
+* ``launch_physical_graph`` — sanitizes every physical plan against the
+  runtime's cluster and blacklist before it launches
+
+While a session is active the program still runs normally; the session only
+accumulates diagnostics (a :class:`MiscompileError` still propagates — a
+miscompiled program must not keep running).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Set
+
+from .diagnostics import DiagnosticSet
+from .lint import lint_function
+from .verifier import verify_function
+
+__all__ = ["AnalysisSession", "analysis_session", "current_session"]
+
+_STATE = threading.local()
+
+
+def current_session() -> Optional["AnalysisSession"]:
+    """The active session of this thread, or None (the common, zero-cost case)."""
+    return getattr(_STATE, "session", None)
+
+
+class AnalysisSession:
+    """Collects diagnostics from every function and plan a program touches."""
+
+    def __init__(self, name: str = "analysis"):
+        self.name = name
+        self.diagnostics = DiagnosticSet()
+        self.functions_checked = 0
+        self.plans_checked = 0
+        self.miscompiles: list = []
+        self._seen_functions: Set[int] = set()
+        self._seen_plans: Set[int] = set()
+
+    # -- hook entry points (called from the pipeline) ------------------------
+
+    def record_function(self, func) -> None:
+        """Strict-verify and lint one IR function (idempotent per object)."""
+        if id(func) in self._seen_functions:
+            return
+        self._seen_functions.add(id(func))
+        self.functions_checked += 1
+        verify_function(func, self.diagnostics)
+        lint_function(func, self.diagnostics)
+
+    def record_plan(self, pgraph, devices=None, blacklisted=(), diags=None) -> None:
+        """Sanitize one physical plan (idempotent per object).
+
+        When the caller already ran the sanitizer (the launch path, which
+        knows the scheduler's blacklist) it hands the findings in via
+        ``diags`` instead of re-running."""
+        if id(pgraph) in self._seen_plans:
+            return
+        self._seen_plans.add(id(pgraph))
+        self.plans_checked += 1
+        if diags is not None:
+            self.diagnostics.extend(diags)
+            return
+        from .sanitizer import sanitize_plan
+
+        sanitize_plan(
+            pgraph, devices=devices, blacklisted=blacklisted, diags=self.diagnostics
+        )
+
+    def record_miscompile(self, exc) -> None:
+        """A verify-after-each-pass failure: keep the structured report."""
+        from .bisect import MiscompileReport
+
+        report = MiscompileReport.from_error(exc)
+        self.miscompiles.append(report)
+        self.diagnostics.error(
+            "miscompile",
+            f"pass {report.pass_name!r} broke {report.function_name!r}: "
+            f"{report.cause}",
+            func=report.function_name,
+            hint="see the bisection diff (MiscompileReport.diff())",
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.diagnostics.ok
+
+    @property
+    def clean(self) -> bool:
+        return self.diagnostics.clean
+
+    def render(self) -> str:
+        header = (
+            f"[{self.name}] checked {self.functions_checked} function(s), "
+            f"{self.plans_checked} plan(s)"
+        )
+        return f"{header}\n{self.diagnostics.render()}"
+
+
+@contextmanager
+def analysis_session(name: str = "analysis") -> Iterator[AnalysisSession]:
+    """Activate a session for this thread; nesting reuses the outer session."""
+    outer = current_session()
+    if outer is not None:
+        yield outer
+        return
+    session = AnalysisSession(name)
+    _STATE.session = session
+    try:
+        yield session
+    finally:
+        _STATE.session = None

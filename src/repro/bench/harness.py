@@ -56,10 +56,10 @@ class ResultTable:
                 widths[i] = max(widths[i], len(cell))
         sep = "-+-".join("-" * w for w in widths)
         lines = [f"== {self.title} =="]
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths, strict=False)))
         lines.append(sep)
         for row in self.rows:
-            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=False)))
         return "\n".join(lines)
 
     def show(self) -> None:

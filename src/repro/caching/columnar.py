@@ -111,7 +111,7 @@ class RecordBatch:
         lengths = {len(c) for c in columns}
         if len(lengths) > 1:
             raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
-        for field, col in zip(schema.fields, columns):
+        for field, col in zip(schema.fields, columns, strict=False):
             if col.dtype != field.dtype:
                 raise TypeError(
                     f"column {field.name!r} has dtype {col.dtype}, schema says {field.dtype}"
@@ -143,13 +143,13 @@ class RecordBatch:
     # -- access ------------------------------------------------------------
 
     def column(self, name: str) -> np.ndarray:
-        for field, col in zip(self.schema.fields, self._columns):
+        for field, col in zip(self.schema.fields, self._columns, strict=False):
             if field.name == name:
                 return col
         raise KeyError(f"no column {name!r}; have {self.schema.names}")
 
     def columns(self) -> Dict[str, np.ndarray]:
-        return {f.name: c for f, c in zip(self.schema.fields, self._columns)}
+        return {f.name: c for f, c in zip(self.schema.fields, self._columns, strict=False)}
 
     def __len__(self) -> int:
         return self.num_rows
@@ -159,7 +159,7 @@ class RecordBatch:
             return NotImplemented
         if self.schema != other.schema or self.num_rows != other.num_rows:
             return False
-        return all(np.array_equal(a, b) for a, b in zip(self._columns, other._columns))
+        return all(np.array_equal(a, b) for a, b in zip(self._columns, other._columns, strict=False))
 
     def __hash__(self) -> int:  # batches are value-like but unhashable
         raise TypeError("RecordBatch is unhashable")
@@ -169,12 +169,12 @@ class RecordBatch:
         return sum(c.nbytes for c in self._columns)
 
     def to_pydict(self) -> Dict[str, List[Any]]:
-        return {f.name: c.tolist() for f, c in zip(self.schema.fields, self._columns)}
+        return {f.name: c.tolist() for f, c in zip(self.schema.fields, self._columns, strict=False)}
 
     def to_rows(self) -> List[Dict[str, Any]]:
         names = self.schema.names
         cols = [c.tolist() for c in self._columns]
-        return [dict(zip(names, row)) for row in zip(*cols)] if cols else []
+        return [dict(zip(names, row, strict=False)) for row in zip(*cols, strict=False)] if cols else []
 
     # -- transforms (zero-copy where possible) ------------------------------
 

@@ -138,7 +138,7 @@ class CachingLayer:
                 # independence, but the object stays addressable)
                 order = (order * ((len(shards) // len(order)) + 1))[: len(shards)]
             placements = []
-            for shard, nid in zip(shards, order):
+            for shard, nid in zip(shards, order, strict=False):
                 shard_key = f"{key}#shard{shard.index}"
                 src = order[0]
                 elapsed += self.transfer_time(src, nid, len(shard.payload))

@@ -16,6 +16,7 @@ increasing sequence number, never by wall-clock or hash order.
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
@@ -375,9 +376,9 @@ class Simulator:
             self._running = False
         return self._now
 
-    def run_until_complete(self, proc: Process, limit: float = float("inf")) -> Any:
+    def run_until_complete(self, proc: Process, limit: float = math.inf) -> Any:
         """Run until ``proc`` finishes; raise if the queue drains first."""
-        self.run(until=None if limit == float("inf") else limit)
+        self.run(until=None if limit == math.inf else limit)
         if not proc.triggered:
             raise SimulationError(
                 f"process {proc.name!r} did not complete (deadlock or time limit)"

@@ -131,6 +131,7 @@ class Skadi:
         if self.optimize_ir:
             PassManager().run(lowered)
         report.lowered_text = lowered.to_text()
+        self._record_for_analysis(lowered)
         graph, sink = ir_to_flowgraph(
             lowered,
             shards=self.shards,
@@ -145,6 +146,18 @@ class Skadi:
         result = self.run_flowgraph(graph, sink, tables, report=report)
         self.last_report = report
         return result
+
+    @staticmethod
+    def _record_for_analysis(func: Function) -> None:
+        """Hand the post-optimization IR to the active analysis session
+        (``python -m repro.analysis``), when one exists."""
+        try:
+            from ..analysis.session import current_session
+        except ImportError:  # analysis layer absent/optional
+            return
+        session = current_session()
+        if session is not None:
+            session.record_function(func)
 
     @staticmethod
     def _sink_after_optimize(graph: FlowGraph, sink: Vertex) -> Vertex:
@@ -165,12 +178,15 @@ class Skadi:
         sink: Vertex,
         tables: Mapping[str, Any],
         report: Optional[QueryReport] = None,
+        strict: Optional[bool] = None,
     ) -> Any:
         pgraph = to_physical(graph)
         start_time = self.runtime.sim.now
         start_bytes = self.runtime.bytes_moved
         start_msgs = self.runtime.control_messages
-        outputs = launch_physical_graph(self.runtime, pgraph, tables=tables)
+        outputs = launch_physical_graph(
+            self.runtime, pgraph, tables=tables, strict=strict
+        )
         result = collect_sink(self.runtime, outputs, sink)
         if report is not None:
             report.physical_tasks = pgraph.num_tasks

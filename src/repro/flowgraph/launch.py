@@ -55,11 +55,11 @@ def _make_compute_fn(vertex: Vertex, task: PhysicalTask, tables: Mapping[str, An
     modes = [mode for mode, _ in task.inputs]
 
     def run_compute(*port_values: Any) -> Any:
-        values = [_gather(mode, list(v)) for mode, v in zip(modes, port_values)]
+        values = [_gather(mode, list(v)) for mode, v in zip(modes, port_values, strict=False)]
         if vertex.ir_func is not None:
             inputs = {
                 param.name: value
-                for param, value in zip(vertex.ir_func.params, values)
+                for param, value in zip(vertex.ir_func.params, values, strict=False)
             }
             outs = Interpreter(tables).run(vertex.ir_func, inputs)
             return outs[0] if len(outs) == 1 else tuple(outs)
@@ -83,17 +83,51 @@ def _make_split_fn(task: PhysicalTask):
     return run_split
 
 
+def _sanitize_before_launch(
+    runtime: ServerlessRuntime, pgraph: PhysicalGraph, strict: Optional[bool]
+) -> None:
+    """Static plan checks before any task is submitted.
+
+    Strict mode (explicit, or ``RuntimeConfig.strict_plans``) refuses to
+    launch a plan with errors; an active analysis session additionally
+    collects every finding even when not strict."""
+    if strict is None:
+        strict = runtime.config.strict_plans
+    session = _analysis_session()
+    if not strict and session is None:
+        return
+    diags = runtime.scheduler.sanitize_plan(pgraph)
+    if session is not None:
+        session.record_plan(pgraph, diags=diags)
+    if strict and not diags.ok:
+        from ..analysis.sanitizer import PlanSanitizerError
+
+        raise PlanSanitizerError(diags)
+
+
+def _analysis_session():
+    try:
+        from ..analysis.session import current_session
+    except ImportError:  # analysis layer absent/optional
+        return None
+    return current_session()
+
+
 def launch_physical_graph(
     runtime: ServerlessRuntime,
     pgraph: PhysicalGraph,
     tables: Optional[Mapping[str, Any]] = None,
     gang_group: Optional[str] = None,
+    strict: Optional[bool] = None,
 ) -> Dict[str, List[ObjectRef]]:
     """Submit every physical task; returns vertex_id -> shard output refs.
 
     ``tables`` backs source vertices and IR ``scan`` ops.  When
     ``gang_group`` is given, all tasks are submitted as one gang (SPMD).
+    ``strict`` sanitizes the plan first and refuses to launch on errors
+    (defaults to the runtime's ``strict_plans`` config).
     """
+    _sanitize_before_launch(runtime, pgraph, strict)
     tables = dict(tables or {})
     table_refs: Dict[str, ObjectRef] = {}
     refs: Dict[str, ObjectRef] = {}

@@ -157,10 +157,12 @@ class FlowGraph:
         return [e for e in self.edges if e.src == vertex_id]
 
     def sources(self) -> List[Vertex]:
-        return [v for v in self.vertices.values() if not self.in_edges(v.vertex_id)]
+        has_in = {e.dst for e in self.edges}
+        return [v for v in self.vertices.values() if v.vertex_id not in has_in]
 
     def sinks(self) -> List[Vertex]:
-        return [v for v in self.vertices.values() if not self.out_edges(v.vertex_id)]
+        has_out = {e.src for e in self.edges}
+        return [v for v in self.vertices.values() if v.vertex_id not in has_out]
 
     def topological_order(self) -> List[Vertex]:
         in_degree = {vid: len(self.in_edges(vid)) for vid in self.vertices}

@@ -39,7 +39,7 @@ def _concat_ir(producer: Function, consumer: Function, port: int, name: str) -> 
         new = builder.emit(
             op.dialect, op.name, [mapping[id(v)] for v in op.operands], dict(op.attrs)
         )
-        for old_v, new_v in zip(op.results, new.results):
+        for old_v, new_v in zip(op.results, new.results, strict=False):
             mapping[id(old_v)] = new_v
     if len(producer.returns) != 1:
         raise GraphValidationError("can only fuse single-output producer vertices")
@@ -53,7 +53,7 @@ def _concat_ir(producer: Function, consumer: Function, port: int, name: str) -> 
         new = builder.emit(
             op.dialect, op.name, [mapping[id(v)] for v in op.operands], dict(op.attrs)
         )
-        for old_v, new_v in zip(op.results, new.results):
+        for old_v, new_v in zip(op.results, new.results, strict=False):
             mapping[id(old_v)] = new_v
     fused = builder.ret(*[mapping[id(v)] for v in consumer.returns])
     fused.verify()

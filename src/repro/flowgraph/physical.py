@@ -61,18 +61,33 @@ class PhysicalGraph:
         self.tasks: Dict[str, PhysicalTask] = {}
         self.order: List[str] = []  # topological
         self.shards_of: Dict[str, List[str]] = {}  # vertex_id -> ptask ids
+        self._sink_cache: Optional[Dict[str, List[str]]] = None
 
     def add(self, task: PhysicalTask) -> PhysicalTask:
         if task.ptask_id in self.tasks:
             raise GraphValidationError(f"duplicate physical task {task.ptask_id!r}")
         self.tasks[task.ptask_id] = task
         self.order.append(task.ptask_id)
+        self._sink_cache = None
         return task
 
     def sink_tasks(self) -> Dict[str, List[str]]:
-        return {
-            v.vertex_id: self.shards_of[v.vertex_id] for v in self.logical.sinks()
-        }
+        if self._sink_cache is None:
+            self._sink_cache = {
+                v.vertex_id: self.shards_of[v.vertex_id]
+                for v in self.logical.sinks()
+            }
+        return self._sink_cache
+
+    def consumers(self) -> Dict[str, List[str]]:
+        """ptask id -> the tasks that read its output (dangling producer
+        ids are kept under their own key so callers can spot them)."""
+        table: Dict[str, List[str]] = {pid: [] for pid in self.tasks}
+        for pid, task in self.tasks.items():
+            for _, producer_ids in task.inputs:
+                for producer in producer_ids:
+                    table.setdefault(producer, []).append(pid)
+        return table
 
     @property
     def num_tasks(self) -> int:

@@ -35,7 +35,7 @@ def group_apply(
         raise ValueError("group_apply over an empty batch: no schema for output")
     boundaries = [0] + (np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1).tolist()
     boundaries.append(batch.num_rows)
-    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+    for lo, hi in zip(boundaries[:-1], boundaries[1:], strict=False):
         rows.append(fn(sorted_keys[lo], sorted_batch.slice(lo, hi - lo)))
     columns = {name: np.asarray([r[name] for r in rows]) for name in rows[0]}
     return RecordBatch.from_arrays(columns)

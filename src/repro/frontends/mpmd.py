@@ -126,7 +126,7 @@ class PipelineParallelTrainer:
         # forward: microbatch m through stages 0..S-1 (futures chain)
         preds: List[ObjectRef] = []
         loss_grads: List[ObjectRef] = []
-        for m, (xm, ym) in enumerate(zip(xs, ys)):
+        for m, (xm, ym) in enumerate(zip(xs, ys, strict=False)):
             act: ObjectRef = rt.put(xm)
             mb_cost = self.stage_cost * len(xm) / n_total
             for handle in self.handles:
@@ -178,7 +178,7 @@ class PipelineParallelTrainer:
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         out = X
-        for W, handle in zip(self.weights(), self.handles):
+        for W, handle in zip(self.weights(), self.handles, strict=False):
             z = out @ W
             is_last = handle is self.handles[-1]
             out = z if is_last else np.maximum(z, 0.0)

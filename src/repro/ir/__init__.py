@@ -38,6 +38,7 @@ from .passes import (
     ConstantFold,
     DeadCodeElimination,
     FuseElementwise,
+    MiscompileError,
     Pass,
     PassManager,
     PassStats,
@@ -76,6 +77,7 @@ __all__ = [
     "Pass",
     "PassManager",
     "PassStats",
+    "MiscompileError",
     "DeadCodeElimination",
     "CommonSubexpressionElimination",
     "ConstantFold",

@@ -134,10 +134,10 @@ def select_backends(
         if policy == SelectionPolicy.CPU_ONLY:
             pick = cpu
         elif policy == SelectionPolicy.CHEAPEST:
-            pick = min(candidates, key=lambda b: (b.cost(op, default_rows), b.name))
+            pick = min(candidates, key=lambda b, _op=op: (b.cost(_op, default_rows), b.name))
         elif policy == SelectionPolicy.PREFER_ACCELERATOR:
             accel = [b for b in candidates if b.device_kind.is_accelerator]
-            pick = min(accel, key=lambda b: (b.cost(op, default_rows), b.name)) if accel else cpu
+            pick = min(accel, key=lambda b, _op=op: (b.cost(_op, default_rows), b.name)) if accel else cpu
         else:
             raise ValueError(f"unknown policy {policy}")
         op.attrs["backend"] = pick.name

@@ -47,6 +47,11 @@ class Value:
 
 InferFn = Callable[[Sequence[IRType], Dict[str, Any]], List[IRType]]
 
+# Per-op structural invariant: returns an error string, or None when fine.
+# This is the dialect's chance to check what type inference cannot see
+# (attribute well-formedness, internal references, ...).
+VerifyFn = Callable[["Operation"], Optional[str]]
+
 
 @dataclass(frozen=True)
 class OpDef:
@@ -55,6 +60,10 @@ class OpDef:
     infer: InferFn
     elementwise: bool = False  # fusable into pointwise kernels
     num_operands: Optional[int] = None  # None: variadic
+    # Pure ops are freely removable (DCE) and mergeable (CSE); impure ops
+    # (opaque handcrafted calls) must stay put even when their result is dead.
+    pure: bool = True
+    verify: Optional[VerifyFn] = None
 
     @property
     def qualified(self) -> str:
@@ -98,6 +107,17 @@ class Operation:
     def result(self, index: int = 0) -> Value:
         return self.results[index]
 
+    def to_text(self) -> str:
+        """One printed line of IR, as it appears inside a function body."""
+        results = ", ".join(repr(v) for v in self.results)
+        operands = ", ".join(repr(v) for v in self.operands)
+        attrs = ""
+        if self.attrs:
+            inner = ", ".join(f"{k}={_fmt_attr(self.attrs[k])}" for k in sorted(self.attrs))
+            attrs = f" {{{inner}}}"
+        types = ", ".join(repr(v.type) for v in self.results)
+        return f"{results} = {self.qualified}({operands}){attrs} : {types}"
+
     def __repr__(self) -> str:
         ops = ", ".join(repr(v) for v in self.operands)
         return f"{self.qualified}({ops})"
@@ -113,10 +133,23 @@ class Function:
         self.returns: List[Value] = []
 
     def verify(self) -> None:
+        if len({id(p) for p in self.params}) != len(self.params):
+            raise IRVerificationError(f"{self.name}: duplicate parameter value")
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise IRVerificationError(f"{self.name}: duplicate parameter names {names}")
+        own_ops = {id(op) for op in self.ops}
         defined = {id(v) for v in self.params}
         for op in self.ops:
             for operand in op.operands:
                 if id(operand) not in defined:
+                    if operand.producer is not None and id(operand.producer) not in own_ops:
+                        raise IRVerificationError(
+                            f"{self.name}: {op.qualified} operand {operand!r} is "
+                            f"defined by a different function "
+                            f"(producer {operand.producer.qualified} is not in "
+                            f"{self.name!r}): {op.to_text()}"
+                        )
                     raise IRVerificationError(
                         f"{self.name}: {op.qualified} uses {operand!r} before definition"
                     )
@@ -126,16 +159,27 @@ class Function:
                     f"{self.name}: {op.qualified} expects {defn.num_operands} operands, "
                     f"got {len(op.operands)}"
                 )
+            if defn.verify is not None:
+                problem = defn.verify(op)
+                if problem is not None:
+                    raise IRVerificationError(
+                        f"{self.name}: {op.qualified}: {problem}: {op.to_text()}"
+                    )
             inferred = defn.infer([v.type for v in op.operands], op.attrs)
             if len(inferred) != len(op.results):
                 raise IRVerificationError(
                     f"{self.name}: {op.qualified} result arity mismatch"
                 )
-            for value, expected in zip(op.results, inferred):
+            for value, expected in zip(op.results, inferred, strict=False):
                 if value.type != expected:
                     raise IRVerificationError(
                         f"{self.name}: {op.qualified} result {value!r} has type "
                         f"{value.type!r}, inference says {expected!r}"
+                    )
+                if id(value) in defined:
+                    raise IRVerificationError(
+                        f"{self.name}: duplicate result value {value!r} "
+                        f"(already defined earlier): {op.to_text()}"
                     )
                 defined.add(id(value))
         for ret in self.returns:
@@ -143,6 +187,35 @@ class Function:
                 raise IRVerificationError(
                     f"{self.name}: returns undefined value {ret!r}"
                 )
+        self._verify_no_ops_after_return()
+
+    def _verify_no_ops_after_return(self) -> None:
+        """The return is the function's terminator: ops past the last one
+        that must execute (a returned value's producer, an impure op, or
+        anything feeding either) can never be observed — such a tail is
+        typically a builder that kept emitting after ``ret``.  Dead pure
+        ops *before* that point stay legal; they are DCE's job, not a
+        verification failure."""
+        if not self.returns:
+            return
+        live = {id(v) for v in self.returns}
+        last_must_execute = -1
+        for index in range(len(self.ops) - 1, -1, -1):
+            op = self.ops[index]
+            try:
+                pure = op.defn.pure
+            except KeyError:
+                pure = False  # unknown op: assume effects
+            if not pure or any(id(r) in live for r in op.results):
+                last_must_execute = max(last_must_execute, index)
+                for operand in op.operands:
+                    live.add(id(operand))
+        if last_must_execute + 1 < len(self.ops):
+            offender = self.ops[last_must_execute + 1]
+            raise IRVerificationError(
+                f"{self.name}: {offender.qualified} appears after the return: "
+                f"{offender.to_text()}"
+            )
 
     def to_text(self) -> str:
         lines = []
@@ -150,16 +223,7 @@ class Function:
         rets = ", ".join(repr(v.type) for v in self.returns)
         lines.append(f"func @{self.name}({params}) -> ({rets}) {{")
         for op in self.ops:
-            results = ", ".join(repr(v) for v in op.results)
-            operands = ", ".join(repr(v) for v in op.operands)
-            attrs = ""
-            if op.attrs:
-                inner = ", ".join(
-                    f"{k}={_fmt_attr(op.attrs[k])}" for k in sorted(op.attrs)
-                )
-                attrs = f" {{{inner}}}"
-            types = ", ".join(repr(v.type) for v in op.results)
-            lines.append(f"  {results} = {op.qualified}({operands}){attrs} : {types}")
+            lines.append(f"  {op.to_text()}")
         returns = ", ".join(repr(v) for v in self.returns)
         lines.append(f"  return {returns}")
         lines.append("}")
@@ -223,6 +287,11 @@ class Builder:
         operands: Sequence[Value] = (),
         attrs: Optional[Dict[str, Any]] = None,
     ) -> Operation:
+        if self.function.returns:
+            raise IRVerificationError(
+                f"{self.function.name}: cannot emit {dialect}.{name} after the "
+                "function already returned"
+            )
         defn = op_def(dialect, name)
         attrs = dict(attrs or {})
         result_types = defn.infer([v.type for v in operands], attrs)

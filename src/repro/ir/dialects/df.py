@@ -14,11 +14,21 @@ from . import relational as _rel
 # The df dialect's physical ops share the relational inference rules — the
 # type algebra is identical; only execution strategy differs.
 
-register_op(OpDef("df", "source", _rel._infer_scan, num_operands=0))
+register_op(
+    OpDef("df", "source", _rel._infer_scan, num_operands=0, verify=_rel._verify_scan)
+)
 register_op(OpDef("df", "where", _rel._infer_filter, num_operands=1, elementwise=True))
 register_op(OpDef("df", "select", _rel._infer_project, num_operands=1, elementwise=True))
 register_op(OpDef("df", "hash_join", _rel._infer_join, num_operands=2))
-register_op(OpDef("df", "hash_aggregate", _rel._infer_aggregate, num_operands=1))
-register_op(OpDef("df", "sort", _rel._infer_sort, num_operands=1))
+register_op(
+    OpDef(
+        "df",
+        "hash_aggregate",
+        _rel._infer_aggregate,
+        num_operands=1,
+        verify=_rel._verify_aggregate,
+    )
+)
+register_op(OpDef("df", "sort", _rel._infer_sort, num_operands=1, verify=_rel._verify_sort))
 register_op(OpDef("df", "limit", _rel._infer_limit, num_operands=1))
 register_op(OpDef("df", "distinct", _rel._infer_distinct, num_operands=1))

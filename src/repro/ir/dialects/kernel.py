@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
-from ..core import OpDef, register_op
+from ..core import OpDef, Operation, register_op
 from ..types import IRType
 
 __all__ = ["FusedStep"]
@@ -62,5 +62,36 @@ def _infer_call(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
     return [result_type]
 
 
-register_op(OpDef("kernel", "fused", _infer_fused))
-register_op(OpDef("kernel", "call", _infer_call))
+def _verify_fused(op: Operation) -> str | None:
+    """Buffer-plan invariants of a fused kernel: every step reference must
+    resolve to a fused operand or an *earlier* step's intermediate buffer."""
+    steps = op.attrs.get("steps", ())
+    for position, step in enumerate(steps):
+        for ref in step.operand_refs:
+            if ref >= 0:
+                if ref >= len(op.operands):
+                    return (
+                        f"step {position} ({step.qualified}) reads operand {ref} "
+                        f"but the fused op has {len(op.operands)} operands"
+                    )
+            else:
+                target = -ref - 1
+                if target >= position:
+                    return (
+                        f"step {position} ({step.qualified}) reads the buffer of "
+                        f"step {target}, which has not been computed yet"
+                    )
+    return None
+
+
+def _verify_call(op: Operation) -> str | None:
+    kernel = op.attrs.get("kernel")
+    if not isinstance(kernel, str) or not kernel:
+        return f"'kernel' attribute must be a non-empty kernel name, got {kernel!r}"
+    return None
+
+
+register_op(OpDef("kernel", "fused", _infer_fused, verify=_verify_fused))
+# Handcrafted kernels are opaque escapes: the analysis layer cannot see
+# inside them, so they are not pure — DCE/CSE must leave them alone.
+register_op(OpDef("kernel", "call", _infer_call, pure=False, verify=_verify_call))

@@ -10,7 +10,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import OpDef, register_op
+from ..core import OpDef, Operation, register_op
 from ..types import FrameType, IRType, TensorType
 
 __all__ = []
@@ -26,7 +26,7 @@ def _tensor(types: Sequence[IRType], index: int = 0) -> TensorType:
 def _broadcast(a: Tuple[Optional[int], ...], b: Tuple[Optional[int], ...]):
     """Numpy-style shape broadcast with dynamic dims."""
     out = []
-    for da, db in zip(reversed(a), reversed(b)):
+    for da, db in zip(reversed(a), reversed(b), strict=False):
         if da == 1:
             out.append(db)
         elif db == 1 or da == db:
@@ -100,7 +100,25 @@ def _infer_frame_to_tensor(types: Sequence[IRType], attrs: Dict[str, Any]) -> Li
     return [TensorType((frame.num_rows, len(columns)), "float64")]
 
 
-register_op(OpDef("linalg", "constant", _infer_constant, num_operands=0))
+def _verify_constant(op: Operation) -> "str | None":
+    value = op.attrs.get("value")
+    try:
+        np.asarray(value)
+    except Exception as exc:  # noqa: BLE001 — report, don't crash the verifier
+        return f"'value' attribute is not array-convertible: {exc}"
+    return None
+
+
+def _verify_reduce(op: Operation) -> "str | None":
+    axis = op.attrs.get("axis")
+    if axis is not None and not isinstance(axis, int):
+        return f"'axis' attribute must be an int or None, got {axis!r}"
+    return None
+
+
+register_op(
+    OpDef("linalg", "constant", _infer_constant, num_operands=0, verify=_verify_constant)
+)
 register_op(OpDef("linalg", "add", _infer_binary, num_operands=2, elementwise=True))
 register_op(OpDef("linalg", "sub", _infer_binary, num_operands=2, elementwise=True))
 register_op(OpDef("linalg", "mul", _infer_binary, num_operands=2, elementwise=True))
@@ -111,6 +129,6 @@ register_op(OpDef("linalg", "exp", _infer_unary, num_operands=1, elementwise=Tru
 register_op(OpDef("linalg", "neg", _infer_unary, num_operands=1, elementwise=True))
 register_op(OpDef("linalg", "matmul", _infer_matmul, num_operands=2))
 register_op(OpDef("linalg", "transpose", _infer_transpose, num_operands=1))
-register_op(OpDef("linalg", "reduce_sum", _infer_reduce, num_operands=1))
-register_op(OpDef("linalg", "reduce_mean", _infer_reduce, num_operands=1))
+register_op(OpDef("linalg", "reduce_sum", _infer_reduce, num_operands=1, verify=_verify_reduce))
+register_op(OpDef("linalg", "reduce_mean", _infer_reduce, num_operands=1, verify=_verify_reduce))
 register_op(OpDef("linalg", "frame_to_tensor", _infer_frame_to_tensor, num_operands=1))

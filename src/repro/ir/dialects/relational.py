@@ -11,7 +11,7 @@ from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
-from ..core import OpDef, register_op
+from ..core import OpDef, Operation, register_op
 from ..expr import Expr
 from ..types import FrameType, IRType
 
@@ -44,7 +44,9 @@ def _infer_filter(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType
     for name in pred.referenced_columns():
         if not frame.has_column(name):
             raise KeyError(f"filter predicate references unknown column {name!r}")
-    return [FrameType(frame.columns, num_rows=None)]
+    # FrameType is immutable, so when the shape is unchanged the operand's
+    # type object is shared rather than renormalized column by column
+    return [frame if frame.num_rows is None else FrameType(frame.columns, None)]
 
 
 def _infer_project(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
@@ -92,7 +94,12 @@ def _infer_aggregate(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRT
     aggs = tuple(attrs.get("aggs", ()))  # (out_name, fn, col)
     if not aggs:
         raise ValueError("relational.aggregate needs at least one agg")
-    columns = [(k, frame.dtype_of(k)) for k in keys]
+    dtype_by_col = dict(frame.columns)
+    columns = []
+    for k in keys:
+        if k not in dtype_by_col:
+            raise KeyError(f"no column {k!r} in {frame!r}")
+        columns.append((k, dtype_by_col[k]))
     for out_name, fn, colname in aggs:
         if fn not in AGG_FUNCS:
             raise ValueError(f"unknown agg fn {fn!r}; have {AGG_FUNCS}")
@@ -101,7 +108,9 @@ def _infer_aggregate(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRT
         elif fn == "mean":
             columns.append((out_name, "float64"))
         else:
-            columns.append((out_name, frame.dtype_of(colname)))
+            if colname not in dtype_by_col:
+                raise KeyError(f"no column {colname!r} in {frame!r}")
+            columns.append((out_name, dtype_by_col[colname]))
     return [FrameType(tuple(columns), num_rows=None)]
 
 
@@ -113,12 +122,12 @@ def _infer_sort(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
     for name in by:
         if not frame.has_column(name):
             raise KeyError(f"sort key {name!r} missing")
-    return [FrameType(frame.columns, frame.num_rows)]
+    return [frame]
 
 
 def _infer_distinct(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
     frame = _frame(types)
-    return [FrameType(frame.columns, num_rows=None)]
+    return [frame if frame.num_rows is None else FrameType(frame.columns, None)]
 
 
 def _infer_limit(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]:
@@ -126,14 +135,46 @@ def _infer_limit(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRType]
     n = attrs.get("n")
     if not isinstance(n, int) or n < 0:
         raise ValueError(f"relational.limit needs a non-negative int 'n', got {n!r}")
-    return [FrameType(frame.columns, num_rows=None)]
+    return [frame if frame.num_rows is None else FrameType(frame.columns, None)]
 
 
-register_op(OpDef("relational", "scan", _infer_scan, num_operands=0))
+# -- structural verify hooks (shared with the physical ``df`` dialect) -----------
+
+
+def _verify_scan(op: Operation) -> "str | None":
+    table = op.attrs.get("table")
+    if not isinstance(table, str) or not table:
+        return f"'table' attribute must be a non-empty table name, got {table!r}"
+    return None
+
+
+def _verify_aggregate(op: Operation) -> "str | None":
+    for agg in op.attrs.get("aggs", ()):
+        if not (
+            isinstance(agg, tuple)
+            and len(agg) == 3
+            and isinstance(agg[0], str)
+            and isinstance(agg[1], str)
+            and isinstance(agg[2], str)
+        ):
+            return f"each agg must be an (out_name, fn, column) string triple, got {agg!r}"
+    return None
+
+
+def _verify_sort(op: Operation) -> "str | None":
+    ascending = op.attrs.get("ascending", True)
+    if not isinstance(ascending, bool):
+        return f"'ascending' attribute must be a bool, got {ascending!r}"
+    return None
+
+
+register_op(OpDef("relational", "scan", _infer_scan, num_operands=0, verify=_verify_scan))
 register_op(OpDef("relational", "filter", _infer_filter, num_operands=1))
 register_op(OpDef("relational", "project", _infer_project, num_operands=1))
 register_op(OpDef("relational", "join", _infer_join, num_operands=2))
-register_op(OpDef("relational", "aggregate", _infer_aggregate, num_operands=1))
-register_op(OpDef("relational", "sort", _infer_sort, num_operands=1))
+register_op(
+    OpDef("relational", "aggregate", _infer_aggregate, num_operands=1, verify=_verify_aggregate)
+)
+register_op(OpDef("relational", "sort", _infer_sort, num_operands=1, verify=_verify_sort))
 register_op(OpDef("relational", "limit", _infer_limit, num_operands=1))
 register_op(OpDef("relational", "distinct", _infer_distinct, num_operands=1))

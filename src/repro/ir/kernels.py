@@ -113,9 +113,9 @@ def k_aggregate(attrs: Dict[str, Any], batch: RecordBatch) -> RecordBatch:
             changed[1:] |= arr[1:] != arr[:-1]
         boundaries = np.flatnonzero(changed)
     cols = {}
-    for key_name, arr in zip(keys, sorted_keys):
+    for key_name, arr in zip(keys, sorted_keys, strict=False):
         cols[key_name] = arr[boundaries]
-    group_slices = list(zip(boundaries, list(boundaries[1:]) + [batch.num_rows]))
+    group_slices = list(zip(boundaries, list(boundaries[1:]) + [batch.num_rows], strict=False))
     for out_name, fn, colname in aggs:
         if fn == "count":
             cols[out_name] = np.asarray(

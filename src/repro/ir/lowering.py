@@ -43,7 +43,7 @@ def lower_relational_to_df(func: Function, name: Optional[str] = None) -> Functi
             new_op = builder.emit("df", target, operands, dict(op.attrs))
         else:
             new_op = builder.emit(op.dialect, op.name, operands, dict(op.attrs))
-        for old, new in zip(op.results, new_op.results):
+        for old, new in zip(op.results, new_op.results, strict=False):
             mapping[id(old)] = new
     lowered = builder.ret(*[mapping[id(v)] for v in func.returns])
     lowered.verify()

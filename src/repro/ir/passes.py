@@ -9,10 +9,10 @@ regardless of which dialect (df, linalg) each op came from, so a SQL-derived
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from .core import Function, Module, Operation, Value
+from .core import Function, IRVerificationError, Module, Operation, Value
 from .dialects.kernel import FusedStep
 from .types import IRType
 
@@ -24,6 +24,7 @@ __all__ = [
     "ConstantFold",
     "FuseElementwise",
     "PassStats",
+    "MiscompileError",
 ]
 
 
@@ -32,6 +33,57 @@ class PassStats:
     ops_removed: int = 0
     ops_fused: int = 0
     iterations: int = 0
+    # per-pass breakdown (pass name -> its own PassStats), so a caller can
+    # tell exactly which pass did what — and the bisection mode can name
+    # the guilty one instead of pointing at the aggregate
+    per_pass: Dict[str, "PassStats"] = field(default_factory=dict)
+
+    def for_pass(self, name: str) -> "PassStats":
+        if name not in self.per_pass:
+            self.per_pass[name] = PassStats()
+        return self.per_pass[name]
+
+    def aggregate(self) -> None:
+        """Fold the per-pass counters back into the top-level fields."""
+        self.ops_removed = sum(s.ops_removed for s in self.per_pass.values())
+        self.ops_fused = sum(s.ops_fused for s in self.per_pass.values())
+
+
+def _analysis_session():
+    """The thread's active analysis session, if the CLI installed one.
+
+    Imported lazily: ``repro.analysis`` depends on this module, and the
+    common (no-session) path must stay import-free and cheap."""
+    try:
+        from ..analysis.session import current_session
+    except ImportError:  # analysis layer absent/optional
+        return None
+    return current_session()
+
+
+class MiscompileError(IRVerificationError):
+    """Raised in verify-after-each-pass mode: names the first pass whose
+    rewrite broke an IR invariant, with the IR before and after it ran."""
+
+    def __init__(
+        self,
+        pass_name: str,
+        function_name: str,
+        iteration: int,
+        cause: str,
+        before_text: str,
+        after_text: str,
+    ):
+        self.pass_name = pass_name
+        self.function_name = function_name
+        self.iteration = iteration
+        self.cause = cause
+        self.before_text = before_text
+        self.after_text = after_text
+        super().__init__(
+            f"pass {pass_name!r} miscompiled {function_name!r} "
+            f"(iteration {iteration}): {cause}"
+        )
 
 
 class Pass:
@@ -48,8 +100,16 @@ def _replace_uses(func: Function, old: Value, new: Value, after_index: int) -> N
     func.returns = [new if v is old else v for v in func.returns]
 
 
+def _is_pure(op: Operation) -> bool:
+    try:
+        return op.defn.pure
+    except KeyError:
+        return False  # unknown op: assume side effects, leave it alone
+
+
 class DeadCodeElimination(Pass):
-    """Drop ops whose results are never used (all ops here are pure)."""
+    """Drop pure ops whose results are never used; impure ops (opaque
+    kernel calls) stay even when dead — we cannot see their effects."""
 
     name = "dce"
 
@@ -58,7 +118,7 @@ class DeadCodeElimination(Pass):
         kept: List[Operation] = []
         changed = False
         for op in reversed(func.ops):
-            if any(id(r) in live for r in op.results):
+            if any(id(r) in live for r in op.results) or not _is_pure(op):
                 kept.append(op)
                 for operand in op.operands:
                     live.add(id(operand))
@@ -84,6 +144,9 @@ class CommonSubexpressionElimination(Pass):
         changed = False
         kept: List[Operation] = []
         for index, op in enumerate(func.ops):
+            if not _is_pure(op):
+                kept.append(op)  # opaque calls are never merged
+                continue
             key = (
                 op.qualified,
                 tuple(id(v) for v in op.operands),
@@ -114,7 +177,7 @@ class ConstantFold(Pass):
         from .types import TensorType
 
         changed = False
-        for index, op in enumerate(list(func.ops)):
+        for _index, op in enumerate(list(func.ops)):
             if op.dialect not in self._FOLDABLE_DIALECTS:
                 continue
             if op.name == "constant" or len(op.results) != 1:
@@ -178,7 +241,7 @@ class FuseElementwise(Pass):
 
     def run(self, func: Function, stats: PassStats) -> bool:
         uses = func.uses()
-        for ci, consumer in enumerate(func.ops):
+        for _ci, consumer in enumerate(func.ops):
             if not _fusable(consumer):
                 continue
             for value in list(consumer.operands):
@@ -243,9 +306,20 @@ class FuseElementwise(Pass):
 
 
 class PassManager:
-    """Run passes to fixpoint (bounded); collects statistics."""
+    """Run passes to fixpoint (bounded); collects per-pass statistics.
 
-    def __init__(self, passes: Optional[List[Pass]] = None, max_iterations: int = 50):
+    With ``verify_each`` the manager re-verifies the function after every
+    individual pass application and raises :class:`MiscompileError` naming
+    the exact pass that first broke an invariant — pass-level miscompile
+    bisection, for free, at the cost of one verify per rewrite.
+    """
+
+    def __init__(
+        self,
+        passes: Optional[List[Pass]] = None,
+        max_iterations: int = 50,
+        verify_each: bool = False,
+    ):
         self.passes = passes or [
             ConstantFold(),
             CommonSubexpressionElimination(),
@@ -253,20 +327,56 @@ class PassManager:
             DeadCodeElimination(),
         ]
         self.max_iterations = max_iterations
+        self.verify_each = verify_each
 
-    def run(self, target) -> PassStats:
+    def run(self, target, verify_each: Optional[bool] = None) -> PassStats:
+        session = _analysis_session()
+        if verify_each is None:
+            # an active analysis session forces bisection mode everywhere
+            verify_each = self.verify_each or session is not None
         stats = PassStats()
         functions = (
             list(target.functions.values()) if isinstance(target, Module) else [target]
         )
         for func in functions:
-            for iteration in range(self.max_iterations):
-                changed = False
-                for p in self.passes:
-                    while p.run(func, stats):
-                        changed = True
-                stats.iterations = iteration + 1
-                if not changed:
-                    break
-            func.verify()
+            try:
+                for iteration in range(self.max_iterations):
+                    changed = False
+                    for p in self.passes:
+                        sub = stats.for_pass(p.name)
+                        while self._apply(p, func, sub, iteration, verify_each):
+                            changed = True
+                    stats.iterations = iteration + 1
+                    if not changed:
+                        break
+                func.verify()
+            except MiscompileError as exc:
+                if session is not None:
+                    session.record_miscompile(exc)
+                raise
+        stats.aggregate()
         return stats
+
+    def _apply(
+        self, p: Pass, func: Function, sub: PassStats, iteration: int, verify_each: bool
+    ) -> bool:
+        if not verify_each:
+            return p.run(func, sub)
+        before = func.to_text()
+        changed = p.run(func, sub)
+        if not changed:
+            return False
+        try:
+            func.verify()
+        except MiscompileError:
+            raise
+        except IRVerificationError as exc:
+            raise MiscompileError(
+                pass_name=p.name,
+                function_name=func.name,
+                iteration=iteration,
+                cause=str(exc),
+                before_text=before,
+                after_text=func.to_text(),
+            ) from exc
+        return True

@@ -18,6 +18,8 @@ class IRType:
     """Base type; types are immutable values."""
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return type(self) is type(other) and self.__dict__ == other.__dict__
 
     def __hash__(self) -> int:
@@ -64,11 +66,25 @@ class TensorType(IRType):
         return f"tensor<{dims}x{self.dtype}>"
 
 
+_DTYPE_NAMES: dict = {}
+
+
+def _dtype_name(dt) -> str:
+    try:
+        name = _DTYPE_NAMES.get(dt)
+    except TypeError:  # unhashable dtype spec: skip the cache
+        return np.dtype(dt).name
+    if name is None:
+        name = np.dtype(dt).name
+        _DTYPE_NAMES[dt] = name
+    return name
+
+
 class FrameType(IRType):
     """A record-batch type: ordered (name, dtype) columns, dynamic rows."""
 
     def __init__(self, columns: Tuple[Tuple[str, str], ...], num_rows: Optional[int] = None):
-        self.columns = tuple((name, np.dtype(dt).name) for name, dt in columns)
+        self.columns = tuple((name, _dtype_name(dt)) for name, dt in columns)
         self.num_rows = num_rows
         names = [c[0] for c in self.columns]
         if len(set(names)) != len(names):

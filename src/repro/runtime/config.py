@@ -63,6 +63,10 @@ class RuntimeConfig:
     # at-least-once across a restart (calls after the last checkpoint
     # may re-execute), so recoverable actors should be idempotent.
     actor_checkpoint_every: int = 1
+    # -- strict plans: statically sanitize every physical plan (cycles,
+    # orphan tasks, placement hazards, memory over-subscription) before any
+    # task is submitted, and refuse to launch plans with errors.
+    strict_plans: bool = False
     # accounting
     track_task_timeline: bool = True
 

@@ -424,7 +424,7 @@ class ServerlessRuntime:
         single = isinstance(refs, ObjectRef)
         ref_list: List[ObjectRef] = [refs] if single else list(refs)
         deadline = None if timeout is None else self.sim.now + timeout
-        for attempt in range(self.config.max_lineage_replays + 1):
+        for _attempt in range(self.config.max_lineage_replays + 1):
             self.sim.run(until=deadline)
             lost = []
             unresolved = []

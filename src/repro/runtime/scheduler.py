@@ -91,6 +91,25 @@ class Scheduler:
     def outstanding(self, device_id: str) -> int:
         return self._outstanding.get(device_id, 0)
 
+    # -- static plan sanitation ----------------------------------------------
+
+    def sanitize_plan(self, pgraph):
+        """Statically check a physical plan against this scheduler's world
+        view: the schedulable device list plus everything currently
+        blacklisted or failed.  Returns the full ``DiagnosticSet``; strict
+        callers raise on ``not diags.ok``."""
+        from ..analysis.sanitizer import DeviceView, sanitize_plan
+
+        dead = set(self._blacklisted)
+        dead.update(
+            d.device_id for d in self._devices if not self.alive_filter(d.device_id)
+        )
+        view = getattr(self, "_plan_view", None)
+        if view is None or view.blacklist != dead:
+            view = DeviceView(self._devices, dead)
+            self._plan_view = view
+        return sanitize_plan(pgraph, devices=view)
+
     # -- placement -----------------------------------------------------------
 
     def candidates(self, task: TaskSpec) -> List[Device]:

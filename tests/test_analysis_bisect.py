@@ -1,0 +1,196 @@
+"""Pass-level miscompile bisection and per-pass statistics.
+
+Three deliberately miscompiling passes — each breaking a different
+invariant — must each be attributed by name, even when interleaved with
+the healthy pipeline."""
+
+import pytest
+
+from repro.analysis import MiscompileReport, bisect_miscompile, clone_function
+from repro.ir import (
+    Builder,
+    CommonSubexpressionElimination,
+    ConstantFold,
+    DeadCodeElimination,
+    FuseElementwise,
+    MiscompileError,
+    PassManager,
+)
+from repro.ir.passes import Pass, PassStats
+from repro.ir.types import TensorType
+
+
+def _tensor(n=4):
+    return TensorType((n,), "float64")
+
+
+def _chain():
+    b = Builder("victim")
+    x = b.add_param("x", _tensor())
+    add = b.emit("linalg", "add", [x, x])
+    relu = b.emit("linalg", "relu", [add.result()])
+    exp = b.emit("linalg", "exp", [relu.result()])
+    return b.ret(exp.result())
+
+
+class DropsNeededOp(Pass):
+    """Miscompile #1: deletes an op whose result is still used."""
+
+    name = "drops-needed-op"
+
+    def run(self, func, stats):
+        for index, op in enumerate(func.ops):
+            if op.name == "add":
+                del func.ops[index]
+                return True
+        return False
+
+
+class CorruptsResultType(Pass):
+    """Miscompile #2: rewrites a result type behind inference's back."""
+
+    name = "corrupts-result-type"
+
+    def run(self, func, stats):
+        for op in func.ops:
+            if op.name == "relu" and op.result().type.dtype != "int32":
+                op.result().type = TensorType((4,), "int32")
+                return True
+        return False
+
+
+class DuplicatesResult(Pass):
+    """Miscompile #3: makes two ops claim the same SSA value."""
+
+    name = "duplicates-result"
+
+    def run(self, func, stats):
+        for op in func.ops:
+            if op.name == "exp" and op.results[0] is not func.ops[0].results[0]:
+                op.results = [func.ops[0].results[0]]
+                return True
+        return False
+
+
+@pytest.mark.parametrize(
+    "bad_pass, cause_fragment",
+    [
+        (DropsNeededOp(), "defined by a different function"),
+        (CorruptsResultType(), "inference says"),
+        (DuplicatesResult(), "duplicate result value"),
+    ],
+    ids=["drops-op", "corrupts-type", "duplicates-result"],
+)
+def test_each_seeded_miscompile_is_attributed(bad_pass, cause_fragment):
+    func = _chain()
+    passes = [ConstantFold(), CommonSubexpressionElimination(), bad_pass]
+    report = bisect_miscompile(func, passes=passes)
+    assert report is not None
+    assert report.pass_name == bad_pass.name
+    assert cause_fragment in report.cause
+    # the non-destructive default leaves the input verifiable
+    func.verify()
+
+
+def test_report_diff_shows_the_guilty_rewrite():
+    report = bisect_miscompile(_chain(), passes=[DropsNeededOp()])
+    diff = report.diff()
+    assert "-  %v0 = linalg.add(%x, %x)" in diff
+    assert "before drops-needed-op" in diff
+    assert "linalg.add" in report.render()
+
+
+def test_clean_pipeline_reports_nothing():
+    assert bisect_miscompile(_chain()) is None
+
+
+def test_passmanager_verify_each_raises_named_error():
+    func = _chain()
+    manager = PassManager(
+        [DeadCodeElimination(), CorruptsResultType()], verify_each=True
+    )
+    with pytest.raises(MiscompileError) as info:
+        manager.run(func)
+    assert info.value.pass_name == "corrupts-result-type"
+    assert info.value.function_name == "victim"
+    assert "relu" in info.value.after_text
+
+
+def test_without_verify_each_the_break_surfaces_late():
+    """The contrast bisection exists for: the plain manager only notices at
+    the final whole-function verify, with no pass attribution."""
+    func = _chain()
+    manager = PassManager([CorruptsResultType()])
+    with pytest.raises(MiscompileError) as info_each:
+        PassManager([CorruptsResultType()], verify_each=True).run(_chain())
+    assert info_each.value.pass_name == "corrupts-result-type"
+    try:
+        manager.run(func)
+    except MiscompileError:  # pragma: no cover - would defeat the contrast
+        pytest.fail("plain run must not produce a pass-attributed error")
+    except Exception as exc:
+        assert not isinstance(exc, MiscompileError)
+
+
+def test_in_place_keeps_broken_ir_for_inspection():
+    func = _chain()
+    report = bisect_miscompile(func, passes=[DropsNeededOp()], in_place=True)
+    assert report is not None
+    assert all(op.name != "add" for op in func.ops)  # the bad rewrite stuck
+
+
+def test_clone_function_is_deep_and_equivalent():
+    func = _chain()
+    copy = clone_function(func)
+    assert copy.to_text() == func.to_text()
+    assert copy.ops[0] is not func.ops[0]
+    assert copy.ops[0].results[0] is not func.ops[0].results[0]
+    copy.verify()
+    # mutating the clone leaves the original alone
+    del copy.ops[0]
+    func.verify()
+
+
+def test_miscompile_report_from_error_roundtrip():
+    func = _chain()
+    try:
+        PassManager([DropsNeededOp()], verify_each=True).run(func)
+    except MiscompileError as exc:
+        report = MiscompileReport.from_error(exc)
+        assert report.pass_name == exc.pass_name
+        assert report.before_text != report.after_text
+    else:
+        pytest.fail("expected a miscompile")
+
+
+# -- per-pass statistics (the PassManager satellite) -----------------------------
+
+
+def test_per_pass_stats_are_separated():
+    b = Builder("stats")
+    x = b.add_param("x", _tensor())
+    b.emit("linalg", "add", [x, x])  # CSE removes this duplicate...
+    a2 = b.emit("linalg", "add", [x, x])
+    b.emit("linalg", "exp", [x])  # DCE victim
+    r = b.emit("linalg", "relu", [a2.result()])  # ...then add+relu fuse
+    func = b.ret(r.result())
+
+    stats = PassManager().run(func)
+    assert stats.per_pass["cse"].ops_removed >= 1
+    assert stats.per_pass["dce"].ops_removed >= 1
+    assert stats.per_pass["fuse-elementwise"].ops_fused >= 1
+    assert stats.per_pass["constant-fold"].ops_removed == 0
+    # the aggregate equals the sum of the per-pass counters
+    assert stats.ops_removed == sum(
+        s.ops_removed for s in stats.per_pass.values()
+    )
+    assert stats.ops_fused == sum(s.ops_fused for s in stats.per_pass.values())
+
+
+def test_for_pass_creates_and_reuses_substats():
+    stats = PassStats()
+    first = stats.for_pass("dce")
+    first.ops_removed = 3
+    assert stats.for_pass("dce") is first
+    stats.aggregate()
+    assert stats.ops_removed == 3

@@ -1,0 +1,165 @@
+"""Analysis sessions and the ``python -m repro.analysis`` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analysis_session, current_session
+from repro.analysis.cli import main
+from repro.caching.columnar import RecordBatch
+from repro.core.skadi import Skadi
+from repro.ir import Builder, MiscompileError, PassManager
+from repro.ir.passes import Pass
+from repro.ir.types import TensorType
+
+
+def _tensor(n=4):
+    return TensorType((n,), "float64")
+
+
+# -- sessions --------------------------------------------------------------------
+
+
+def test_session_activates_and_deactivates():
+    assert current_session() is None
+    with analysis_session("t") as session:
+        assert current_session() is session
+    assert current_session() is None
+
+
+def test_nested_sessions_reuse_the_outer_one():
+    with analysis_session("outer") as outer:
+        with analysis_session("inner") as inner:
+            assert inner is outer
+
+
+def test_session_records_functions_once():
+    b = Builder("f")
+    x = b.add_param("x", _tensor())
+    relu = b.emit("linalg", "relu", [x])
+    func = b.ret(relu.result())
+    with analysis_session() as session:
+        session.record_function(func)
+        session.record_function(func)
+    assert session.functions_checked == 1
+    assert session.clean
+
+
+def test_session_sees_skadi_query_end_to_end():
+    table = RecordBatch.from_pydict(
+        {"a": np.arange(50, dtype="int64"), "b": np.ones(50)}
+    )
+    with analysis_session("q") as session:
+        result = Skadi().sql("SELECT a FROM t WHERE a > 5", {"t": table})
+    assert result.num_rows == 44
+    assert session.functions_checked >= 1
+    assert session.plans_checked >= 1
+    assert session.clean, session.render()
+
+
+def test_session_forces_verify_each_and_records_miscompile():
+    class Breaks(Pass):
+        name = "breaks"
+
+        def run(self, func, stats):
+            if func.ops and func.ops[-1].name != "gone":
+                del func.ops[0]
+                return True
+            return False
+
+    b = Builder("f")
+    x = b.add_param("x", _tensor())
+    add = b.emit("linalg", "add", [x, x])
+    relu = b.emit("linalg", "relu", [add.result()])
+    func = b.ret(relu.result())
+
+    with analysis_session() as session:
+        with pytest.raises(MiscompileError):
+            PassManager([Breaks()]).run(func)  # session forces verify_each
+    assert len(session.miscompiles) == 1
+    assert session.miscompiles[0].pass_name == "breaks"
+    assert "miscompile" in session.diagnostics.codes()
+
+
+def test_session_render_mentions_counts():
+    with analysis_session("named") as session:
+        pass
+    assert "0 function(s)" in session.render()
+    assert "[named]" in session.render()
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+def _write_program(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(body)
+    return path
+
+
+CLEAN_PROGRAM = """
+import numpy as np
+from repro.caching.columnar import RecordBatch
+from repro.core.skadi import Skadi
+
+table = RecordBatch.from_pydict({"a": np.arange(30, dtype="int64"),
+                                 "b": np.ones(30)})
+out = Skadi().sql("SELECT a, b FROM t WHERE a > 3", {"t": table})
+print("rows:", out.num_rows)
+"""
+
+CRASHING_PROGRAM = """
+raise RuntimeError("boom")
+"""
+
+
+def test_cli_clean_program_exits_zero(tmp_path, capsys):
+    path = _write_program(tmp_path, "clean.py", CLEAN_PROGRAM)
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "no diagnostics" in out
+    assert "rows:" not in out  # program stdout is suppressed
+
+
+def test_cli_crashing_program_exits_nonzero(tmp_path, capsys):
+    path = _write_program(tmp_path, "crash.py", CRASHING_PROGRAM)
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "program-crashed" in out
+    assert "boom" in out
+
+
+def test_cli_expands_directories(tmp_path, capsys):
+    _write_program(tmp_path, "a.py", "x = 1\n")
+    _write_program(tmp_path, "b.py", "y = 2\n")
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "a.py" in out and "b.py" in out
+
+
+def test_cli_missing_file(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == 1
+    assert "no-such-file" in capsys.readouterr().out
+
+
+def test_cli_sql_mode_clean(capsys):
+    code = main(
+        [
+            "--sql",
+            "SELECT a, b FROM orders WHERE a > 1",
+            "--table",
+            "orders=a:int64,b:float64",
+        ]
+    )
+    assert code == 0
+    assert "no diagnostics" in capsys.readouterr().out
+
+
+def test_cli_sql_mode_bad_query(capsys):
+    code = main(["--sql", "SELECT missing FROM orders", "--table", "orders=a:int64"])
+    assert code == 1
+    assert "planning-failed" in capsys.readouterr().out
+
+
+def test_cli_requires_some_target(capsys):
+    with pytest.raises(SystemExit):
+        main([])

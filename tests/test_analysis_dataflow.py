@@ -1,0 +1,134 @@
+"""Dataflow framework: def-use, liveness, reaching defs, buffer effects."""
+
+from repro.analysis import (
+    Liveness,
+    ReachingDefinitions,
+    buffer_effects,
+    def_use,
+)
+from repro.analysis.dataflow import PARAM_SITE
+from repro.ir import Builder
+from repro.ir.types import TensorType
+
+
+def _tensor(n=4):
+    return TensorType((n,), "float64")
+
+
+def _sample():
+    """x -> add(x,x) -> relu -> return, plus a dead exp and an opaque call."""
+    b = Builder("sample")
+    x = b.add_param("x", _tensor())
+    add = b.emit("linalg", "add", [x, x])
+    dead = b.emit("linalg", "exp", [x])
+    call = b.emit(
+        "kernel", "call", [add.result()], {"kernel": "blackbox", "result_type": _tensor()}
+    )
+    relu = b.emit("linalg", "relu", [add.result()])
+    func = b.ret(relu.result())
+    return func, x, add, dead, call, relu
+
+
+# -- def-use ---------------------------------------------------------------------
+
+
+def test_def_sites_cover_params_and_ops():
+    func, x, add, dead, call, relu = _sample()
+    chains = def_use(func)
+    assert chains.def_site[id(x)] == PARAM_SITE
+    assert chains.def_site[id(add.result())] == 0
+    assert chains.def_site[id(relu.result())] == 3
+
+
+def test_use_sites_and_returns():
+    func, x, add, dead, call, relu = _sample()
+    chains = def_use(func)
+    assert chains.uses_of(x) == [0, 0, 1]  # both add operands + exp
+    assert chains.uses_of(add.result()) == [2, 3]
+    assert id(relu.result()) in chains.returned
+    assert not chains.is_dead(relu.result())
+
+
+def test_dead_results_found():
+    func, x, add, dead, call, relu = _sample()
+    chains = def_use(func)
+    dead_entries = chains.dead_results()
+    assert (1, dead, dead.result()) in dead_entries
+    # the opaque call's result is also unused (but that is lint's concern)
+    assert any(op is call for _, op, _ in dead_entries)
+
+
+# -- liveness --------------------------------------------------------------------
+
+
+def test_liveness_backward():
+    func, x, add, dead, call, relu = _sample()
+    live = Liveness(func).solve()
+    # before op0 (add): x is live, add's result not yet defined
+    assert id(x) in live.in_sets[0]
+    # add's result stays live until relu consumes it
+    assert live.is_live_after(0, add.result())
+    assert live.is_live_after(2, add.result())
+    assert not live.is_live_after(3, add.result())
+    # the returned value is live at the exit
+    assert live.is_live_after(3, relu.result())
+
+
+def test_liveness_kills_definitions():
+    func, x, add, dead, call, relu = _sample()
+    live = Liveness(func).solve()
+    # before its definition the relu result is not live anywhere
+    assert id(relu.result()) not in live.in_sets[3]
+
+
+# -- reaching definitions --------------------------------------------------------
+
+
+def test_reaching_definitions_prefix_property():
+    func, x, add, dead, call, relu = _sample()
+    reach = ReachingDefinitions(func).solve()
+    assert reach.reaches(0, x)
+    assert not reach.reaches(0, add.result())
+    assert reach.reaches(1, add.result())
+    assert reach.reaches(3, add.result())
+    # in SSA nothing is killed: everything defined reaches the end
+    assert id(x) in reach.out_sets[3]
+
+
+def test_reaching_matches_verifier_def_before_use():
+    """reaches(i, operand) is exactly the verifier's legality rule."""
+    func, *_ = _sample()
+    reach = ReachingDefinitions(func).solve()
+    for index, op in enumerate(func.ops):
+        for operand in op.operands:
+            assert reach.reaches(index, operand)
+
+
+# -- buffer effects / aliasing ---------------------------------------------------
+
+
+def test_pure_ops_write_fresh_buffers():
+    func, x, add, dead, call, relu = _sample()
+    summary = buffer_effects(func)
+    effect = summary.effect_of(0)
+    assert not effect.opaque
+    assert effect.reads == (id(x), id(x))
+    assert effect.writes == (id(add.result()),)
+    assert not summary.aliases.may_alias(x, add.result())
+
+
+def test_opaque_call_may_alias_operands():
+    func, x, add, dead, call, relu = _sample()
+    summary = buffer_effects(func)
+    effect = summary.effect_of(2)
+    assert effect.opaque
+    assert id(add.result()) in effect.writes  # may mutate its input
+    assert summary.aliases.may_alias(call.result(), add.result())
+    assert not summary.aliases.may_alias(call.result(), x)
+    assert summary.opaque_ops() == [effect]
+
+
+def test_alias_is_reflexive():
+    func, x, *_ = _sample()
+    summary = buffer_effects(func)
+    assert summary.aliases.may_alias(x, x)

@@ -1,0 +1,205 @@
+"""The collect-all verifier: one deliberately broken module per rule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import strict_verify, verify_function, verify_module
+from repro.ir import Builder, FusedStep, IRVerificationError, Module
+from repro.ir.core import Function, Operation, Value
+from repro.ir.types import TensorType, f64
+
+
+def _tensor(n=4):
+    return TensorType((n,), "float64")
+
+
+def _chain():
+    b = Builder("chain")
+    x = b.add_param("x", _tensor())
+    add = b.emit("linalg", "add", [x, x])
+    relu = b.emit("linalg", "relu", [add.result()])
+    return b.ret(relu.result()), x, add, relu
+
+
+def test_clean_function_has_no_diagnostics():
+    func, *_ = _chain()
+    assert not verify_function(func)
+
+
+def test_duplicate_param_value():
+    v = Value("x", _tensor())
+    func = Function("f", [v, v])
+    diags = verify_function(func)
+    assert "duplicate-param" in diags.codes()
+
+
+def test_duplicate_param_name():
+    func = Function("f", [Value("x", _tensor()), Value("x", _tensor())])
+    assert "duplicate-param" in verify_function(func).codes()
+
+
+def test_unknown_op():
+    func, x, *_ = _chain()
+    ghost = Operation("nope", "mystery", [x], {})
+    ghost.results = [Value("g", _tensor(), producer=ghost)]
+    func.ops.insert(0, ghost)
+    diags = verify_function(func)
+    assert "unknown-op" in diags.codes()
+    assert any("nope.mystery" in d.message for d in diags)
+
+
+def test_operand_arity():
+    func, x, add, _ = _chain()
+    add.operands.append(x)  # linalg.add wants exactly 2
+    diags = verify_function(func)
+    assert "operand-arity" in diags.codes()
+
+
+def test_use_before_def():
+    func, x, add, relu = _chain()
+    func.ops.reverse()  # relu now reads add's result before it exists
+    assert "use-before-def" in verify_function(func).codes()
+
+
+def test_cross_function_operand():
+    other, _, add_other, _ = _chain()
+    func, x, add, _ = _chain()
+    add.operands[1] = add_other.result()
+    diags = verify_function(func)
+    assert "cross-function-operand" in diags.codes()
+    assert any("different function" in d.message for d in diags)
+
+
+def test_op_invariant_via_dialect_hook():
+    func, x, *_ = _chain()
+    bad = Operation(
+        "kernel",
+        "fused",
+        [x],
+        {
+            "result_type": _tensor(),
+            # step 0 reads step 5's buffer, which never exists
+            "steps": (FusedStep("linalg", "relu", (-6,)),),
+        },
+    )
+    bad.results = [Value("k", _tensor(), producer=bad)]
+    func.ops.insert(0, bad)
+    diags = verify_function(func)
+    assert "op-invariant" in diags.codes()
+
+
+def test_infer_failed():
+    func, x, *_ = _chain()
+    bad = Operation("linalg", "add", [x, Value("s", f64)], {})
+    bad.results = [Value("r", _tensor(), producer=bad)]
+    # parameter-like scalar so the operand itself is defined
+    func.params.append(bad.operands[1])
+    func.ops.insert(0, bad)
+    assert "infer-failed" in verify_function(func).codes()
+
+
+def test_result_arity():
+    func, x, add, _ = _chain()
+    add.results.append(Value("extra", _tensor(), producer=add))
+    assert "result-arity" in verify_function(func).codes()
+
+
+def test_type_mismatch():
+    func, x, add, _ = _chain()
+    add.result().type = TensorType((99,), "int64")
+    diags = verify_function(func)
+    assert "type-mismatch" in diags.codes()
+    assert any("inference says" in d.message for d in diags)
+
+
+def test_producer_link_broken():
+    func, x, add, _ = _chain()
+    add.result().producer = None
+    assert "producer-link-broken" in verify_function(func).codes()
+
+
+def test_duplicate_result():
+    func, x, add, relu = _chain()
+    relu.results = [add.result()]  # relu claims to define add's value again
+    assert "duplicate-result" in verify_function(func).codes()
+
+
+def test_undefined_return():
+    func, *_ = _chain()
+    func.returns = [Value("phantom", _tensor())]
+    assert "undefined-return" in verify_function(func).codes()
+
+
+def test_op_after_return():
+    func, x, *_ = _chain()
+    tail = Operation("linalg", "exp", [x], {})
+    tail.results = [Value("t", _tensor(), producer=tail)]
+    func.ops.append(tail)
+    diags = verify_function(func)
+    assert "op-after-return" in diags.codes()
+    assert any(d.op_index == len(func.ops) - 1 for d in diags)
+
+
+def test_collect_all_reports_every_violation_at_once():
+    func, x, add, relu = _chain()
+    add.result().type = TensorType((9,), "float64")  # type-mismatch
+    func.returns.append(Value("phantom", _tensor()))  # undefined-return
+    tail = Operation("linalg", "exp", [x], {})
+    tail.results = [Value("t", _tensor(), producer=tail)]
+    func.ops.append(tail)  # op-after-return
+    diags = verify_function(func)
+    codes = diags.codes()
+    assert {"type-mismatch", "undefined-return", "op-after-return"} <= set(codes)
+    assert len(diags.errors) >= 3
+
+
+def test_strict_verify_raises_with_rendered_report():
+    func, x, add, _ = _chain()
+    add.result().type = TensorType((9,), "float64")
+    with pytest.raises(IRVerificationError, match="type-mismatch"):
+        strict_verify(func)
+
+
+def test_verify_module_walks_every_function():
+    good, *_ = _chain()
+    bad, _, add, _ = _chain()
+    bad.name = "bad"
+    add.result().type = TensorType((9,), "float64")
+    module = Module()
+    module.add(good)
+    module.add(bad)
+    diags = verify_module(module)
+    assert [d.func for d in diags.errors] == ["bad"] * len(diags.errors)
+
+
+def test_diagnostic_rendering_mentions_op_text_and_hint():
+    func, x, add, _ = _chain()
+    add.result().type = TensorType((9,), "float64")
+    report = verify_function(func).render()
+    assert "linalg.add" in report
+    assert "hint:" in report
+
+
+def test_core_verify_and_collect_all_agree():
+    """Every broken module the strict verifier rejects, the collect-all
+    verifier must flag too (same invariants, two reporting styles)."""
+    breakers = []
+
+    def dup_result(func, x, add, relu):
+        relu.results = [add.result()]
+
+    def tail_op(func, x, add, relu):
+        t = Operation("linalg", "exp", [x], {})
+        t.results = [Value("t", _tensor(), producer=t)]
+        func.ops.append(t)
+
+    def bad_type(func, x, add, relu):
+        add.result().type = TensorType((9,), "int64")
+
+    breakers = [dup_result, tail_op, bad_type]
+    for breaker in breakers:
+        func, x, add, relu = _chain()
+        breaker(func, x, add, relu)
+        with pytest.raises(IRVerificationError):
+            func.verify()
+        assert not verify_function(func).ok

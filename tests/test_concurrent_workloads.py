@@ -66,8 +66,8 @@ class TestSharedRuntime:
 
         # both systems got correct answers off the same runtime
         local = job.run_local(table)
-        got = dict(zip(mr_out.column("k").tolist(), mr_out.column("total").tolist()))
-        want = dict(zip(local.column("k").tolist(), local.column("total").tolist()))
+        got = dict(zip(mr_out.column("k").tolist(), mr_out.column("total").tolist(), strict=False))
+        want = dict(zip(local.column("k").tolist(), local.column("total").tolist(), strict=False))
         assert set(got) == set(want)
         assert np.abs(weights - w_true).max() < 0.2
 
@@ -83,7 +83,7 @@ class TestSharedRuntime:
         batch_ref = rt.submit(lambda: 123, name="batch_side_job")
         assert rt.get(batch_ref) == 123
         local = stream_job.run_local(micro_batches(table, 20))
-        for d, l in zip(stream_out, local):
+        for d, l in zip(stream_out, local, strict=False):
             assert d == l
 
     def test_runtime_stats_accumulate_across_jobs(self, orders):

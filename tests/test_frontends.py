@@ -97,8 +97,8 @@ class TestMapReduce:
         rt = ServerlessRuntime(build_physical_disagg())
         dist = job.run(rt, table)
         local = job.run_local(table)
-        got = dict(zip(dist.column("k").tolist(), dist.column("total").tolist()))
-        want = dict(zip(local.column("k").tolist(), local.column("total").tolist()))
+        got = dict(zip(dist.column("k").tolist(), dist.column("total").tolist(), strict=False))
+        want = dict(zip(local.column("k").tolist(), local.column("total").tolist(), strict=False))
         assert set(got) == set(want)
         for k in want:
             assert got[k] == pytest.approx(want[k])
@@ -120,7 +120,7 @@ class TestMapReduce:
         out = group_apply(
             small_batch, "k", lambda k, g: {"k": int(k), "n": g.num_rows}
         )
-        assert dict(zip(out.column("k").tolist(), out.column("n").tolist())) == {
+        assert dict(zip(out.column("k").tolist(), out.column("n").tolist(), strict=False)) == {
             0: 2,
             1: 2,
             2: 1,

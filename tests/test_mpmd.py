@@ -62,7 +62,7 @@ class TestPipelineTrainer:
         for _ in range(4):
             trainer.train_epoch(X, y, microbatches=4)
         ref = serial_reference_training((6, 12, 1), X, y, epochs=4, lr=0.05, seed=2)
-        for W_dist, W_ref in zip(trainer.weights(), ref):
+        for W_dist, W_ref in zip(trainer.weights(), ref, strict=False):
             np.testing.assert_allclose(W_dist, W_ref)
 
     def test_microbatch_count_does_not_change_math(self, data):
@@ -71,7 +71,7 @@ class TestPipelineTrainer:
         t2, _ = make_trainer(seed=5)
         t1.train_epoch(X, y, microbatches=2)
         t2.train_epoch(X, y, microbatches=8)
-        for a, b in zip(t1.weights(), t2.weights()):
+        for a, b in zip(t1.weights(), t2.weights(), strict=False):
             np.testing.assert_allclose(a, b)
 
     def test_loss_decreases(self, data):

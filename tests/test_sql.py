@@ -175,12 +175,12 @@ class TestExecution:
             {"orders": orders, "customers": customers},
         )
         region_of = dict(
-            zip(customers.column("cid").tolist(), customers.column("region").tolist())
+            zip(customers.column("cid").tolist(), customers.column("region").tolist(), strict=False)
         )
         expected = {}
-        for c, a in zip(orders.column("cust").tolist(), orders.column("amount").tolist()):
+        for c, a in zip(orders.column("cust").tolist(), orders.column("amount").tolist(), strict=False):
             expected[region_of[c]] = expected.get(region_of[c], 0.0) + a
-        for region, total in zip(out.column("region").tolist(), out.column("total").tolist()):
+        for region, total in zip(out.column("region").tolist(), out.column("total").tolist(), strict=False):
             assert total == pytest.approx(expected[region])
 
     def test_having_filters_groups(self, catalog, orders):

@@ -82,8 +82,8 @@ class TestSemantics:
 
     def test_distinct_multi_column(self, table):
         out = run_sql("SELECT DISTINCT k, r FROM t", table)
-        expected = set(zip(table.column("k").tolist(), table.column("r").tolist()))
-        got = set(zip(out.column("k").tolist(), out.column("r").tolist()))
+        expected = set(zip(table.column("k").tolist(), table.column("r").tolist(), strict=False))
+        got = set(zip(out.column("k").tolist(), out.column("r").tolist(), strict=False))
         assert got == expected
         assert out.num_rows == len(expected)
 
@@ -115,7 +115,7 @@ class TestAggregateOverExpression:
         out = run_sql(
             "SELECT r, SUM(x * 2 + 1) AS s FROM t GROUP BY r ORDER BY r", table
         )
-        for r, s in zip(out.column("r").tolist(), out.column("s").tolist()):
+        for r, s in zip(out.column("r").tolist(), out.column("s").tolist(), strict=False):
             mask = table.column("r") == r
             assert s == pytest.approx(float((table.column("x")[mask] * 2 + 1).sum()))
 
@@ -160,8 +160,8 @@ class TestDistributedDistinct:
         skadi = Skadi(shards=shards)
         out = skadi.sql("SELECT DISTINCT k, r FROM t ORDER BY k", {"t": table})
         oracle = run_sql("SELECT DISTINCT k, r FROM t ORDER BY k", table)
-        got = sorted(zip(out.column("k").tolist(), out.column("r").tolist()))
-        want = sorted(zip(oracle.column("k").tolist(), oracle.column("r").tolist()))
+        got = sorted(zip(out.column("k").tolist(), out.column("r").tolist(), strict=False))
+        want = sorted(zip(oracle.column("k").tolist(), oracle.column("r").tolist(), strict=False))
         assert got == want
 
     def test_sharded_distinct_shuffles(self, table):

@@ -79,10 +79,10 @@ class TestOperators:
         expect = {}
         for k, x in zip(
             first_window.column("k").tolist(), first_window.column("x").tolist()
-        ):
+        , strict=False):
             expect[k] = expect.get(k, 0.0) + x
         got = dict(
-            zip(outputs[0].column("k").tolist(), outputs[0].column("s").tolist())
+            zip(outputs[0].column("k").tolist(), outputs[0].column("s").tolist(), strict=False)
         )
         assert set(got) == set(expect)
         for k in expect:
@@ -124,7 +124,7 @@ class TestOperators:
         rt = ServerlessRuntime(build_physical_disagg())
         dist = job.run(rt, stream)
         local = job.run_local(stream)
-        for d, l in zip(dist, local):
+        for d, l in zip(dist, local, strict=False):
             assert d == l
 
 
@@ -142,7 +142,7 @@ class TestStreamJob:
         dist = self.job().run(rt, stream)
         local = self.job().run_local(stream)
         assert len(dist) == len(local)
-        for d, l in zip(dist, local):
+        for d, l in zip(dist, local, strict=False):
             assert d == l
 
     def test_state_carries_between_micro_batches(self, stream):
@@ -161,5 +161,5 @@ class TestStreamJob:
         rt = ServerlessRuntime(build_physical_disagg())
         dist = job.run(rt, stream)
         local = job.run_local(stream)
-        for d, l in zip(dist, local):
+        for d, l in zip(dist, local, strict=False):
             assert d == l

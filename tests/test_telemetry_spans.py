@@ -116,7 +116,7 @@ class TestCriticalPath:
         a = _task_span(tracer, "a", 0.0, 0.2, 0.2, 0.5, 2.0)
         b = _task_span(tracer, "b", 0.1, 0.3, 2.5, 2.5, 4.0, links=(a.span_id,))
         result = critical_path(tracer.finished_spans(), b)
-        for prev, nxt in zip(result.segments, result.segments[1:]):
+        for prev, nxt in zip(result.segments, result.segments[1:], strict=False):
             assert prev.end == pytest.approx(nxt.start)
         assert result.segments[0].start == 0.0
         assert result.segments[-1].end == 4.0
