@@ -3,26 +3,39 @@
 Build a :class:`ChaosSchedule` (fluently or from a seed), arm it with a
 :class:`ChaosMonkey`, and run the workload; the runtime's heartbeat
 detector, retry policy, and actor reconstruction do the surviving.
+
+Fault domains follow the disaggregated hardware: whole nodes
+(:class:`NodeCrash`), single accelerators (:class:`DeviceFailure`),
+memory blades (:class:`BladeFailure`), and DPUs (:class:`DpuFailure`)
+each fail — and are detected and recovered — differently.
 """
 
 from .events import (
+    BladeFailure,
     ChaosSchedule,
+    DeviceFailure,
+    DpuFailure,
     Fault,
     LinkDegradation,
     MessageLoss,
     NetworkPartition,
     NodeCrash,
+    ScheduleValidationError,
     Straggler,
 )
 from .monkey import ChaosMonkey
 
 __all__ = [
+    "BladeFailure",
     "ChaosMonkey",
     "ChaosSchedule",
+    "DeviceFailure",
+    "DpuFailure",
     "Fault",
     "LinkDegradation",
     "MessageLoss",
     "NetworkPartition",
     "NodeCrash",
+    "ScheduleValidationError",
     "Straggler",
 ]

@@ -22,8 +22,16 @@ __all__ = [
     "LinkDegradation",
     "MessageLoss",
     "Straggler",
+    "DeviceFailure",
+    "BladeFailure",
+    "DpuFailure",
     "ChaosSchedule",
+    "ScheduleValidationError",
 ]
+
+
+class ScheduleValidationError(ValueError):
+    """A fault record is malformed or names an id the cluster lacks."""
 
 
 @dataclass(frozen=True)
@@ -87,6 +95,51 @@ class Straggler(Fault):
     duration: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class DeviceFailure(Fault):
+    """A single device (GPU/FPGA) dies; its host node keeps running.
+
+    Device memory is volatile: every object copy on the device vanishes.
+    Detection is device-granular — the owning raylet reports the death in
+    its next heartbeat (or, when the raylet was hosted *on* the device,
+    per-endpoint silence is the signal).  ``recover_after`` (relative to
+    the failure) brings the device back empty.
+    """
+
+    device_id: str = ""
+    recover_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BladeFailure(Fault):
+    """A disaggregated-memory blade dies: every spilled object is lost.
+
+    Blades run no raylet, so there is no heartbeat to go silent; the GCS
+    discovers the death through its periodic blade liveness probes (ping
+    RPCs over the simulated fabric).  Recovery must come from the
+    replicated/EC reliable cache or from lineage re-execution.
+    """
+
+    node_id: str = ""
+    recover_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DpuFailure(Fault):
+    """A card's DPU dies; the companion devices (and their memory) survive.
+
+    Gen-1 homes the card's raylet on the DPU, so its death orphans the
+    companions — the head server's raylet adopts them and control traffic
+    re-routes through it (degraded mode: longer control path, more
+    contention).  Gen-2 raylets terminate on the devices themselves, so a
+    DPU death costs nothing — exactly the single-point-of-control contrast
+    the paper draws.
+    """
+
+    node_id: str = ""
+    recover_after: Optional[float] = None
+
+
 class ChaosSchedule:
     """An ordered fault plan, built fluently or drawn from a seed."""
 
@@ -135,6 +188,101 @@ class ChaosSchedule:
         self.faults.append(Straggler(at, device_id, factor, duration))
         return self
 
+    def fail_device(
+        self, at: float, device_id: str, recover_after: Optional[float] = None
+    ) -> "ChaosSchedule":
+        self.faults.append(DeviceFailure(at, device_id, recover_after))
+        return self
+
+    def fail_blade(
+        self, at: float, node_id: str, recover_after: Optional[float] = None
+    ) -> "ChaosSchedule":
+        self.faults.append(BladeFailure(at, node_id, recover_after))
+        return self
+
+    def fail_dpu(
+        self, at: float, node_id: str, recover_after: Optional[float] = None
+    ) -> "ChaosSchedule":
+        self.faults.append(DpuFailure(at, node_id, recover_after))
+        return self
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(
+        self,
+        node_ids: Optional[Sequence[str]] = None,
+        device_ids: Optional[Sequence[str]] = None,
+        extra_endpoints: Sequence[str] = (),
+    ) -> None:
+        """Reject malformed schedules before they are armed.
+
+        Checks every fault for a negative injection time and a recovery
+        window that is not strictly positive (``recover_at <= at`` in
+        absolute terms).  When ``node_ids``/``device_ids`` are given —
+        the :class:`~repro.chaos.monkey.ChaosMonkey` passes the armed
+        cluster's directory — faults naming unknown ids are rejected too,
+        so a typo'd victim surfaces at ``arm()`` instead of as a silent
+        no-op (or KeyError) mid-run.
+        """
+        nodes = None if node_ids is None else set(node_ids)
+        devices = None if device_ids is None else set(device_ids)
+        endpoints = None if devices is None else devices | set(extra_endpoints)
+
+        def check_node(fault: Fault, node_id: str) -> None:
+            if nodes is not None and node_id not in nodes:
+                raise ScheduleValidationError(
+                    f"{type(fault).__name__} at t={fault.at} names unknown "
+                    f"node {node_id!r} (cluster has {sorted(nodes)})"
+                )
+
+        def check_device(fault: Fault, device_id: str) -> None:
+            if devices is not None and device_id not in devices:
+                raise ScheduleValidationError(
+                    f"{type(fault).__name__} at t={fault.at} names unknown "
+                    f"device {device_id!r}"
+                )
+
+        def check_window(fault: Fault, label: str, value: Optional[float]) -> None:
+            if value is not None and value <= 0:
+                raise ScheduleValidationError(
+                    f"{type(fault).__name__} at t={fault.at}: {label}={value} "
+                    f"must be > 0 (recovery at or before injection)"
+                )
+
+        for fault in self.faults:
+            if fault.at < 0:
+                raise ScheduleValidationError(
+                    f"{type(fault).__name__} has negative injection time {fault.at}"
+                )
+            if isinstance(fault, NodeCrash):
+                check_node(fault, fault.node_id)
+                check_window(fault, "restart_after", fault.restart_after)
+            elif isinstance(fault, (BladeFailure, DpuFailure)):
+                check_node(fault, fault.node_id)
+                check_window(fault, "recover_after", fault.recover_after)
+            elif isinstance(fault, DeviceFailure):
+                check_device(fault, fault.device_id)
+                check_window(fault, "recover_after", fault.recover_after)
+            elif isinstance(fault, Straggler):
+                check_device(fault, fault.device_id)
+                check_window(fault, "duration", fault.duration)
+            elif isinstance(fault, NetworkPartition):
+                for group in fault.groups:
+                    for node_id in group:
+                        check_node(fault, node_id)
+                check_window(fault, "heal_after", fault.heal_after)
+            elif isinstance(fault, LinkDegradation):
+                if endpoints is not None:
+                    for end in (fault.a, fault.b):
+                        if end not in endpoints:
+                            raise ScheduleValidationError(
+                                f"LinkDegradation at t={fault.at} names unknown "
+                                f"endpoint {end!r}"
+                            )
+                check_window(fault, "duration", fault.duration)
+            elif isinstance(fault, MessageLoss):
+                check_window(fault, "duration", fault.duration)
+
     # -- introspection -------------------------------------------------------
 
     def ordered(self) -> List[Fault]:
@@ -171,6 +319,12 @@ class ChaosSchedule:
         restart_fraction: float = 1.0,
         straggler_factor: Tuple[float, float] = (4.0, 16.0),
         degrade_factor: Tuple[float, float] = (2.0, 10.0),
+        n_device_failures: int = 0,
+        blade_ids: Sequence[str] = (),
+        n_blade_failures: int = 0,
+        dpu_ids: Sequence[str] = (),
+        n_dpu_failures: int = 0,
+        recover_fraction: float = 1.0,
     ) -> "ChaosSchedule":
         """A reproducible pseudo-random schedule inside ``(0, horizon)``.
 
@@ -225,4 +379,24 @@ class ChaosSchedule:
                 duration=round(rng.uniform(0.2, 0.5) * horizon, 9),
                 seed=rng.randrange(1 << 30),
             )
+
+        # device-granular failure domains (drawn last so schedules built by
+        # older seeds stay bit-identical when these counts default to zero)
+        def recovery() -> Optional[float]:
+            if rng.random() < recover_fraction:
+                return round(rng.uniform(0.1, 0.3) * horizon, 9)
+            return None
+
+        for _ in range(n_device_failures):
+            if not device_ids:
+                break
+            sched.fail_device(when(), rng.choice(list(device_ids)), recovery())
+        for _ in range(n_blade_failures):
+            if not blade_ids:
+                break
+            sched.fail_blade(when(), rng.choice(list(blade_ids)), recovery())
+        for _ in range(n_dpu_failures):
+            if not dpu_ids:
+                break
+            sched.fail_dpu(when(), rng.choice(list(dpu_ids)), recovery())
         return sched

@@ -17,8 +17,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, TYPE_CHECKING
 
+from ..cluster.hardware import DeviceKind
 from .events import (
+    BladeFailure,
     ChaosSchedule,
+    DeviceFailure,
+    DpuFailure,
     Fault,
     LinkDegradation,
     MessageLoss,
@@ -45,9 +49,20 @@ class ChaosMonkey:
         self._reactive_fired: Set[str] = set()
 
     def arm(self) -> "ChaosMonkey":
-        """Pin every fault to its virtual time; call once, before running."""
+        """Pin every fault to its virtual time; call once, before running.
+
+        Validates the schedule against the runtime's cluster first, so a
+        typo'd victim or an impossible recovery window fails loudly here
+        instead of as a silent no-op mid-run.
+        """
         if self._armed:
             raise RuntimeError("chaos monkey is already armed")
+        cluster = self.runtime.cluster
+        self.schedule.validate(
+            node_ids=[n for n in cluster.nodes],
+            device_ids=[d.device_id for d in cluster.all_devices()],
+            extra_endpoints=(cluster.switch_id,),
+        )
         self._armed = True
         for fault in self.schedule.ordered():
             self.sim.schedule_at(fault.at, self._inject, fault)
@@ -81,6 +96,12 @@ class ChaosMonkey:
             self._lose(fault)
         elif isinstance(fault, Straggler):
             self._slow(fault)
+        elif isinstance(fault, DeviceFailure):
+            self._fail_device(fault)
+        elif isinstance(fault, BladeFailure):
+            self._fail_blade(fault)
+        elif isinstance(fault, DpuFailure):
+            self._fail_dpu(fault)
         else:  # pragma: no cover - future fault kinds
             raise TypeError(f"unknown fault {fault!r}")
 
@@ -89,6 +110,12 @@ class ChaosMonkey:
         rt._record("chaos_node_crash", node=fault.node_id)
         for raylet in rt._raylets_by_node.get(fault.node_id, []):
             raylet.fail()
+        # a whole-node crash takes every device down with it — that is what
+        # distinguishes it from the device-granular faults below, and what
+        # the failure detector's triage probes will (correctly) find
+        node = rt.cluster.nodes.get(fault.node_id)
+        for dev in node.devices if node is not None else []:
+            dev.fail()
         # attempts physically running there die with the node; their retry
         # policy takes it from here
         rt._interrupt_tasks_on(fault.node_id, "crashed")
@@ -101,6 +128,9 @@ class ChaosMonkey:
     def _restart(self, node_id: str) -> None:
         rt = self.runtime
         rt._record("chaos_node_restart", node=node_id)
+        node = rt.cluster.nodes.get(node_id)
+        for dev in node.devices if node is not None else []:
+            dev.restore()
         for raylet in rt._raylets_by_node.get(node_id, []):
             raylet.restart()
         if rt.health is None:
@@ -152,3 +182,111 @@ class ChaosMonkey:
     def _unslow(self, device_id: str) -> None:
         self.runtime._record("chaos_straggler_end", device=device_id)
         self.runtime.cluster.device(device_id).slowdown = 1.0
+
+    # -- device-granular failure domains -------------------------------------
+
+    def _fail_device(self, fault: DeviceFailure) -> None:
+        """A GPU/FPGA dies under a living host.  Physical half only: the
+        silicon and its memory go; with heartbeats the owning raylet reports
+        the death in its next beat (or, if the raylet lived *on* the device,
+        endpoint silence plus probe triage takes over)."""
+        rt = self.runtime
+        device = rt.cluster.device(fault.device_id)
+        rt._record("chaos_device_failure", device=fault.device_id, node=device.node_id)
+        device.fail()
+        store = rt._store_of_device.get(fault.device_id)
+        if store is not None:
+            store.clear()  # volatile device memory died with the silicon
+        for raylet in rt._raylets_by_node.get(device.node_id, []):
+            if raylet.host_device is device and raylet.alive:
+                if all(d is device for d in raylet.devices):
+                    raylet.fail()  # its only store just died anyway
+                else:
+                    raylet.fail_control()  # companion memory survives
+        rt._interrupt_tasks_on_device(fault.device_id, "device failed")
+        if rt.health is None:
+            rt._mark_device_dead(fault.device_id, cause="chaos device failure")
+            rt._adopt_orphans(device.node_id, cause="chaos device failure")
+        if fault.recover_after is not None:
+            self.sim.schedule(fault.recover_after, self._recover_device, fault.device_id)
+
+    def _recover_device(self, device_id: str) -> None:
+        rt = self.runtime
+        rt._record("chaos_device_recovery", device=device_id)
+        device = rt.cluster.device(device_id)
+        device.restore()  # back, but empty
+        for raylet in rt._raylets_by_node.get(device.node_id, []):
+            if raylet.host_device is device:
+                raylet.restart()
+        if rt.health is None:
+            rt._undo_takeover(device.node_id)
+            rt._mark_device_alive(device_id)
+        # with heartbeats: the next beat's status payload clears the device
+
+    def _fail_blade(self, fault: BladeFailure) -> None:
+        """A disaggregated-memory blade dies: spilled objects are gone.
+        Blades never beat, so detection rides on the GCS's probe loop."""
+        rt = self.runtime
+        rt._record("chaos_blade_failure", node=fault.node_id)
+        node = rt.cluster.nodes.get(fault.node_id)
+        if node is None:
+            return
+        blade = node.attachment_device
+        blade.fail()
+        store = rt._store_of_device.get(blade.device_id)
+        if store is not None:
+            store.clear()
+        if rt.health is None:
+            rt._mark_blade_dead(fault.node_id, cause="chaos blade failure")
+        if fault.recover_after is not None:
+            self.sim.schedule(fault.recover_after, self._recover_blade, fault.node_id)
+
+    def _recover_blade(self, node_id: str) -> None:
+        rt = self.runtime
+        rt._record("chaos_blade_recovery", node=node_id)
+        node = rt.cluster.nodes.get(node_id)
+        if node is None:
+            return
+        node.attachment_device.restore()
+        if rt.health is None:
+            rt._on_blade_alive(node_id)
+        # with heartbeats: the next successful probe un-suspects the blade
+
+    def _fail_dpu(self, fault: DpuFailure) -> None:
+        """The card's DPU dies; companion silicon and memory survive.  In
+        Gen-1 this kills the card's raylet (hosted on the DPU) without
+        wiping its stores — triage finds the companions alive and the head
+        raylet adopts them.  Gen-2 cards keep running untouched."""
+        rt = self.runtime
+        rt._record("chaos_dpu_failure", node=fault.node_id)
+        node = rt.cluster.nodes.get(fault.node_id)
+        dpu = node.first_of_kind(DeviceKind.DPU) if node is not None else None
+        if dpu is None:
+            return
+        dpu.fail()
+        for raylet in rt._raylets_by_node.get(fault.node_id, []):
+            if raylet.host_device is dpu and raylet.alive:
+                raylet.fail_control()  # stores live in companion memory
+                rt._interrupt_tasks_on_raylet(raylet, "dpu failed")
+        if rt.health is None:
+            rt._mark_device_dead(dpu.device_id, cause="chaos dpu failure")
+            rt._mark_dpu_dead(fault.node_id, cause="chaos dpu failure")
+        if fault.recover_after is not None:
+            self.sim.schedule(fault.recover_after, self._recover_dpu, fault.node_id)
+
+    def _recover_dpu(self, node_id: str) -> None:
+        rt = self.runtime
+        rt._record("chaos_dpu_recovery", node=node_id)
+        node = rt.cluster.nodes.get(node_id)
+        dpu = node.first_of_kind(DeviceKind.DPU) if node is not None else None
+        if dpu is None:
+            return
+        dpu.restore()
+        for raylet in rt._raylets_by_node.get(node_id, []):
+            if raylet.host_device is dpu:
+                raylet.restart()
+        if rt.health is None:
+            rt._mark_device_alive(dpu.device_id)
+            rt._on_dpu_alive(node_id)
+        # with heartbeats: the revived raylet's first beat triggers the
+        # hand-back of any adopted devices

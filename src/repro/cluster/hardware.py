@@ -150,6 +150,8 @@ class Device:
     slots: Resource = field(init=False)
     busy_seconds: float = field(init=False, default=0.0)  # slot-seconds burned
     slowdown: float = field(init=False, default=1.0)  # straggler injection (chaos)
+    alive: bool = field(init=False, default=True)  # device-granular failure domain
+    failures: int = field(init=False, default=0)  # times this device has died
     _mem_used: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -186,6 +188,21 @@ class Device:
                 f"freeing {nbytes} bytes but only {self._mem_used} reserved on {self.device_id}"
             )
         self._mem_used -= nbytes
+
+    def fail(self) -> None:
+        """The device dies: its memory contents are gone, its slots useless.
+
+        Purely physical — the control plane is not told.  The node around
+        the device keeps running (the whole point of device-granular
+        failure domains): a dead GPU does not take its host down.
+        """
+        if self.alive:
+            self.failures += 1
+        self.alive = False
+
+    def restore(self) -> None:
+        """The device comes back — empty (its memory did not survive)."""
+        self.alive = True
 
     def execute(self, cpu_seconds: float, label: str = "task"):
         """A process that occupies one slot for the scaled duration.

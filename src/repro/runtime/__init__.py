@@ -14,7 +14,13 @@ from .ids import IdGenerator
 from .lineage import LineageGraph, UnrecoverableObjectError
 from .local import LocalActorHandle, LocalRuntime
 from .object_ref import ObjectRef, collect_refs, replace_refs
-from .object_store import LocalObjectStore, ObjectStoreFullError, StoredObject
+from .object_store import (
+    LocalObjectStore,
+    ObjectStoreFullError,
+    SpillFailedError,
+    StoredObject,
+    StoreUnavailableError,
+)
 from .ownership import OwnershipEntry, OwnershipTable, ValueState
 from .raylet import Raylet
 from .runtime import (
@@ -43,6 +49,8 @@ __all__ = [
     "LocalObjectStore",
     "StoredObject",
     "ObjectStoreFullError",
+    "SpillFailedError",
+    "StoreUnavailableError",
     "OwnershipTable",
     "OwnershipEntry",
     "ValueState",

@@ -7,20 +7,30 @@ periodic heartbeats, the GCS counts silent intervals, and recovery starts
 only after K missed beats — which is exactly why detection latency shows up
 in recovery tail latency (Ray's design, and the knob the chaos soak sweeps).
 
-Mechanics:
+Disaggregation changes the failure *unit*, so detection is device-granular:
 
-* one **sender** process per compute node sends a heartbeat control message
-  from the node's raylet endpoint to the GCS endpoint every ``interval``
-  virtual seconds.  Heartbeats travel the simulated network: they pay hop
-  latency, count in ``NetworkStats.messages``, and can be dropped by chaos
-  (loss or partition).  A crashed raylet stops beating — there is no
-  side-channel.
-* one **monitor** process on the GCS marks a node *suspected* after
-  ``miss_threshold`` intervals without an arrival and tells the runtime,
-  which blacklists the node, drops its object locations, interrupts its
-  in-flight tasks, and reconstructs its actors.
-* a beat arriving from a suspected node (a healed partition, a restarted
-  raylet) clears the suspicion and un-blacklists the node.
+* one **sender** process per raylet sends a heartbeat control message from
+  the raylet's endpoint to the GCS every ``interval`` virtual seconds.
+  Heartbeats travel the simulated network: they pay hop latency, count in
+  ``NetworkStats.messages``, and can be dropped by chaos (loss or
+  partition).  A dead raylet stops beating — there is no side-channel.
+  Each beat carries a **device-status payload**: the liveness of every
+  device the raylet manages, sampled at send time.  That is how the GCS
+  learns a GPU died under a still-healthy host without any extra probes.
+* one **monitor** process on the GCS watches per-endpoint silence.  When an
+  endpoint goes quiet for ``miss_threshold`` intervals the monitor does not
+  jump to a whole-node verdict: it runs a **domain triage** — a probe RPC
+  to each device behind the silent raylet(s).  Devices that answer are
+  alive (a DPU died but its companion GPU survived); devices that do not
+  are dead.  Only when *every* device of a fully-silent node fails its
+  probe does the monitor fall back to the classic whole-node death.
+* memory blades have no raylet and never beat; the GCS **probes** each
+  blade on the heartbeat interval and declares it dead after
+  ``miss_threshold`` consecutive failed probes (spilled objects must then
+  be recovered from lineage or the reliable cache).
+* a beat arriving from a suspected endpoint (a healed partition, a
+  restarted raylet/DPU) clears the suspicion, un-blacklists the domain,
+  and unwinds any control-plane takeover.
 
 The loops run only while the runtime has open tasks (otherwise they would
 keep the event queue non-empty forever and ``sim.run()`` would never
@@ -31,9 +41,13 @@ spinning.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Set
+from typing import TYPE_CHECKING, Dict, Generator, List, Set, Tuple
+
+from ..cluster.hardware import Device
+from ..cluster.node import NodeKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .raylet import Raylet
     from .runtime import ServerlessRuntime
 
 __all__ = ["HeartbeatMonitor"]
@@ -43,7 +57,7 @@ STALL_TICKS = 200
 
 
 class HeartbeatMonitor:
-    """The GCS-side failure detector plus per-node heartbeat senders."""
+    """The GCS-side failure detector plus per-raylet heartbeat senders."""
 
     def __init__(
         self,
@@ -60,10 +74,13 @@ class HeartbeatMonitor:
         self.net = runtime.net
         self.interval = interval
         self.miss_threshold = miss_threshold
-        self.last_seen: Dict[str, float] = {}
-        self.suspected: Set[str] = set()
+        self.last_seen: Dict[str, float] = {}  # node id -> newest beat from any endpoint
+        self.last_seen_endpoint: Dict[str, float] = {}  # raylet endpoint -> newest beat
+        self.suspected: Set[str] = set()  # node ids (whole-node or blade verdicts)
+        self.suspected_endpoints: Set[str] = set()  # raylet endpoints under triage
         self.beats_received = 0
         self.beats_sent = 0
+        self.probes_sent = 0
         self._active = False
         self._epoch = 0  # loops from an earlier activation exit on mismatch
 
@@ -76,6 +93,13 @@ class HeartbeatMonitor:
             if raylets
         )
 
+    def blade_nodes(self) -> List[str]:
+        return sorted(
+            node.node_id
+            for node in self.runtime.cluster.nodes.values()
+            if node.kind == NodeKind.MEMORY_BLADE
+        )
+
     def ensure_running(self) -> None:
         """Start (or restart) detection; called whenever work is submitted."""
         if self._active:
@@ -85,50 +109,101 @@ class HeartbeatMonitor:
         epoch = self._epoch
         now = self.sim.now
         for node_id in self.monitored_nodes():
-            # fresh grace period for healthy nodes so an idle gap between
-            # jobs is not mistaken for silence; suspected nodes must earn
+            # fresh grace period for healthy endpoints so an idle gap between
+            # jobs is not mistaken for silence; suspected endpoints must earn
             # their way back with a real heartbeat
             if node_id not in self.suspected:
                 self.last_seen[node_id] = now
-            self.sim.process(self._sender_loop(node_id, epoch), name=f"hb:{node_id}")
+            for raylet in self.runtime._raylets_by_node[node_id]:
+                if raylet.endpoint not in self.suspected_endpoints:
+                    self.last_seen_endpoint[raylet.endpoint] = now
+                self.sim.process(
+                    self._sender_loop(raylet, epoch), name=f"hb:{raylet.endpoint}"
+                )
+        for node_id in self.blade_nodes():
+            self.sim.process(self._blade_probe_loop(node_id, epoch), name=f"probe:{node_id}")
         self.sim.process(self._monitor_loop(epoch), name="hb:monitor")
 
     # -- the wire protocol ---------------------------------------------------
 
-    def _sender_loop(self, node_id: str, epoch: int) -> Generator:
-        raylets = self.runtime._raylets_by_node[node_id]
-        endpoint = raylets[0].endpoint
+    def _sender_loop(self, raylet: "Raylet", epoch: int) -> Generator:
+        node_id = raylet.node_id
         while (
             self._active
             and self._epoch == epoch
             and self.runtime._has_pending_work()
         ):
             yield self.sim.timeout(self.interval)
-            if not any(r.alive for r in raylets):
+            if not raylet.alive:
                 continue  # a dead raylet does not beat; silence is the signal
+            # device status is sampled when the beat leaves the node, not
+            # when it arrives — the GCS sees the truth as of send time
+            status = tuple(
+                (dev.device_id, dev.alive) for dev in self._status_devices(raylet)
+            )
             self.beats_sent += 1
             self._meter("skadi_heartbeats_sent_total", "heartbeats emitted per node", node_id)
             delivered = yield self.net.message(
-                endpoint, self.runtime.gcs_endpoint, label="heartbeat"
+                raylet.endpoint, self.runtime.gcs_endpoint, label="heartbeat"
             )
             if delivered:
-                self._beat(node_id)
+                self._beat(node_id, raylet, status)
+
+    @staticmethod
+    def _status_devices(raylet: "Raylet") -> List[Device]:
+        devices = list(raylet.devices)
+        if raylet.host_device not in devices:
+            devices.append(raylet.host_device)  # a DPU reports on itself too
+        return devices
 
     def _meter(self, name: str, help_text: str, node_id: str) -> None:
         telemetry = getattr(self.runtime, "telemetry", None)
         if telemetry is not None:
             telemetry.registry.counter(name, help_text, node=node_id).inc()
 
-    def _beat(self, node_id: str) -> None:
+    def _beat(
+        self,
+        node_id: str,
+        raylet: "Raylet",
+        status: Tuple[Tuple[str, bool], ...] = (),
+    ) -> None:
         self.beats_received += 1
         self._meter(
             "skadi_heartbeats_received_total", "heartbeats the GCS received per node", node_id
         )
-        self.last_seen[node_id] = self.sim.now
+        now = self.sim.now
+        self.last_seen[node_id] = now
+        self.last_seen_endpoint[raylet.endpoint] = now
+        if raylet.endpoint in self.suspected_endpoints:
+            self.suspected_endpoints.discard(raylet.endpoint)
+            self.runtime._record(
+                "raylet_unsuspected", node=node_id, endpoint=raylet.endpoint
+            )
+            self.runtime._on_endpoint_alive(raylet)
         if node_id in self.suspected:
             self.suspected.discard(node_id)
             self.runtime._record("node_unsuspected", node=node_id)
             self.runtime._on_node_alive(node_id)
+        for device_id, alive in status:
+            self.runtime._on_device_report(device_id, alive)
+
+    def _probe(self, device: Device) -> Generator:
+        """Probe a device endpoint through the network; returns liveness.
+
+        Two one-way messages instead of an abstract RPC so the failure
+        semantics are physical: the request must reach the device, and only
+        a live device sends the acknowledgement back.
+        """
+        self.probes_sent += 1
+        sent = yield self.net.message(
+            self.runtime.gcs_endpoint, device.device_id, label="probe"
+        )
+        if not sent or not device.alive:
+            return False
+        acked = yield self.net.message(
+            device.device_id, self.runtime.gcs_endpoint, label="probe-ack"
+        )
+        return bool(acked)
 
     def _monitor_loop(self, epoch: int) -> Generator:
         deadline = self.miss_threshold * self.interval
@@ -138,17 +213,46 @@ class HeartbeatMonitor:
             yield self.sim.timeout(self.interval)
             now = self.sim.now
             for node_id in self.monitored_nodes():
-                if node_id in self.suspected:
+                raylets = self.runtime._raylets_by_node[node_id]
+
+                def _silent(endpoint: str) -> bool:
+                    return now - self.last_seen_endpoint.get(endpoint, 0.0) > deadline
+
+                newly_silent = [
+                    r
+                    for r in raylets
+                    if r.endpoint not in self.suspected_endpoints and _silent(r.endpoint)
+                ]
+                if not newly_silent:
                     continue
-                silent_for = now - self.last_seen.get(node_id, 0.0)
-                if silent_for > deadline:
+                all_silent = all(
+                    r.endpoint in self.suspected_endpoints or _silent(r.endpoint)
+                    for r in raylets
+                )
+                for raylet in newly_silent:
+                    self.suspected_endpoints.add(raylet.endpoint)
+                if all_silent and node_id not in self.suspected:
                     self.suspected.add(node_id)
                     self.runtime._record(
                         "node_suspected",
                         node=node_id,
-                        silent_for=round(silent_for, 9),
+                        silent_for=round(
+                            now - self.last_seen.get(node_id, 0.0), 9
+                        ),
                     )
-                    self.runtime._mark_node_dead(node_id, cause="missed heartbeats")
+                    self.sim.process(
+                        self._triage(node_id, list(raylets), True, epoch),
+                        name=f"triage:{node_id}",
+                    )
+                else:
+                    for raylet in newly_silent:
+                        self.runtime._record(
+                            "raylet_suspected", node=node_id, endpoint=raylet.endpoint
+                        )
+                    self.sim.process(
+                        self._triage(node_id, newly_silent, False, epoch),
+                        name=f"triage:{node_id}",
+                    )
             latest = self.runtime._progress_counter()
             stall = stall + 1 if latest == progress else 0
             progress = latest
@@ -159,3 +263,70 @@ class HeartbeatMonitor:
                 break
         if self._epoch == epoch:
             self._active = False
+
+    def _triage(
+        self, node_id: str, raylets: List["Raylet"], whole_node: bool, epoch: int
+    ) -> Generator:
+        """Silence is ambiguous; probes resolve it to failure domains.
+
+        A silent endpoint could be a crashed node, a dead DPU in front of a
+        live GPU, or a dropped beat.  Probing every device behind the silent
+        raylet(s) splits the node into live and dead domains, and only the
+        dead ones are acted on.
+        """
+        devices: List[Device] = []
+        seen: Set[str] = set()
+        for raylet in raylets:
+            for dev in self._status_devices(raylet):
+                if dev.device_id not in seen:
+                    seen.add(dev.device_id)
+                    devices.append(dev)
+        dead: List[Device] = []
+        live: List[Device] = []
+        for dev in sorted(devices, key=lambda d: d.device_id):
+            ok = yield from self._probe(dev)
+            (live if ok else dead).append(dev)
+        if self._epoch != epoch:
+            return
+        self.runtime._record(
+            "domain_triage",
+            node=node_id,
+            dead=sorted(d.device_id for d in dead),
+            live=sorted(d.device_id for d in live),
+            whole_node=whole_node,
+        )
+        if whole_node and not live:
+            # every domain on the node is gone: the classic verdict
+            self.runtime._mark_node_dead(node_id, cause="missed heartbeats")
+            return
+        if whole_node:
+            # not a node death after all — the silent endpoints stay
+            # suspected individually and are handled per-domain below
+            self.suspected.discard(node_id)
+        self.runtime._on_triage_verdict(node_id, dead, live)
+
+    def _blade_probe_loop(self, node_id: str, epoch: int) -> Generator:
+        """Blades have no raylet to beat, so the GCS polls them directly."""
+        blade = self.runtime.cluster.node(node_id).attachment_device
+        misses = 0
+        while (
+            self._active
+            and self._epoch == epoch
+            and self.runtime._has_pending_work()
+        ):
+            yield self.sim.timeout(self.interval)
+            ok = yield from self._probe(blade)
+            if self._epoch != epoch:
+                return
+            if ok:
+                misses = 0
+                if node_id in self.suspected:
+                    self.suspected.discard(node_id)
+                    self.runtime._record("blade_unsuspected", node=node_id)
+                    self.runtime._on_blade_alive(node_id)
+            else:
+                misses += 1
+                if misses >= self.miss_threshold and node_id not in self.suspected:
+                    self.suspected.add(node_id)
+                    self.runtime._record("blade_suspected", node=node_id, misses=misses)
+                    self.runtime._mark_blade_dead(node_id, cause="missed probes")

@@ -11,15 +11,34 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from ..cluster.hardware import Device
 
-__all__ = ["LocalObjectStore", "StoredObject", "ObjectStoreFullError"]
+__all__ = [
+    "LocalObjectStore",
+    "StoredObject",
+    "ObjectStoreFullError",
+    "SpillFailedError",
+    "StoreUnavailableError",
+]
 
 
 class ObjectStoreFullError(MemoryError):
     """No room locally and no spill target configured."""
+
+
+class SpillFailedError(ObjectStoreFullError):
+    """The spill target refused the victim (full or dead blade).
+
+    Crash-consistency contract: when this is raised the victim is still
+    intact in the local store — spill writes to the target *before*
+    deleting locally, so a failed spill never destroys data.
+    """
+
+
+class StoreUnavailableError(RuntimeError):
+    """The store's backing device is dead; reads and writes are impossible."""
 
 
 @dataclass
@@ -43,6 +62,9 @@ class LocalObjectStore:
         # a telemetry MetricsRegistry, wired in by the runtime (this layer
         # sits below repro.telemetry, so the attribute is duck-typed)
         self.metrics = None
+        # poked after a successful spill so the runtime can move the object's
+        # directory location from this device's node to the spill target's
+        self.on_spill: Optional[Callable[[str, "LocalObjectStore"], None]] = None
 
     def _meter_resident(self) -> None:
         if self.metrics is not None:
@@ -58,6 +80,10 @@ class LocalObjectStore:
 
     def put(self, object_id: str, value: Any, nbytes: int) -> Tuple[StoredObject, int]:
         """Store a value; returns (record, bytes_spilled_to_make_room)."""
+        if not self.device.alive:
+            raise StoreUnavailableError(
+                f"store on {self.device.device_id} is backed by a dead device"
+            )
         if object_id in self._objects:
             raise KeyError(f"object {object_id!r} already in store on {self.node_id}")
         spilled = 0
@@ -86,12 +112,25 @@ class LocalObjectStore:
                 f"store on {self.device.device_id} full and no spill target"
             )
         victim_id, victim = next(iter(self._objects.items()))
+        # crash consistency: the victim must land on the spill target BEFORE
+        # it leaves this store — a full or dead blade must not destroy the
+        # only copy.  On failure the victim is untouched and the caller sees
+        # a typed error instead of silent data loss.
+        try:
+            self.spill_target.put(victim_id, victim.value, victim.nbytes)
+        except (ObjectStoreFullError, StoreUnavailableError) as exc:
+            raise SpillFailedError(
+                f"spill of {victim_id!r} ({victim.nbytes}B) from "
+                f"{self.device.device_id} to {self.spill_target.device.device_id} "
+                f"failed; victim retained locally: {exc}"
+            ) from exc
         del self._objects[victim_id]
         self.device.free_memory(victim.nbytes)
         self._used -= victim.nbytes
-        self.spill_target.put(victim_id, victim.value, victim.nbytes)
         self.spilled_out += 1
         self.spilled_bytes += victim.nbytes
+        if self.on_spill is not None:
+            self.on_spill(victim_id, self.spill_target)
         if self.metrics is not None:
             self.metrics.counter(
                 "skadi_store_evictions_total",

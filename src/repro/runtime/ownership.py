@@ -97,7 +97,28 @@ class OwnershipTable:
                 if not entry.locations and entry.state == ValueState.READY:
                     entry.state = ValueState.LOST
                     lost.append(entry.object_id)
+            if entry.device_id is not None and entry.device_id.startswith(node_id + "/"):
+                entry.device_id = None
+                entry.device_handle = None
         return lost
+
+    def drop_device(self, device_id: str) -> List[str]:
+        """A single device died while its node lived: invalidate the Figure 3
+        extension columns for every entry whose primary copy sat on it.
+
+        Location entries are node-granular, so the caller (the runtime, which
+        knows which sibling stores survived) decides whether the node location
+        itself must also be dropped; this method only severs the now-dangling
+        ``device_id``/``device_handle`` so no one dereferences a driver handle
+        into dead silicon.  Returns the invalidated object ids.
+        """
+        invalidated = []
+        for entry in self._entries.values():
+            if entry.device_id == device_id:
+                entry.device_id = None
+                entry.device_handle = None
+                invalidated.append(entry.object_id)
+        return invalidated
 
     def is_ready(self, object_id: str) -> bool:
         return self.contains(object_id) and self.entry(object_id).state == ValueState.READY

@@ -117,6 +117,18 @@ class Raylet:
         for store in self.stores.values():
             store.clear()
 
+    def fail_control(self) -> None:
+        """Only the control daemon dies; managed device memory survives.
+
+        This is the DPU failure mode: the card's raylet ran on the DPU, but
+        the companion GPU/FPGA memory backing its object stores is separate
+        silicon and keeps its contents.  A takeover raylet can adopt the
+        stores intact.
+        """
+        if self.alive:
+            self.failures += 1
+        self.alive = False
+
     def restart(self) -> None:
         if not self.alive:
             self.incarnation += 1

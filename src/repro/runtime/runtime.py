@@ -36,7 +36,7 @@ from .health import HeartbeatMonitor
 from .ids import IdGenerator
 from .lineage import LineageGraph, UnrecoverableObjectError
 from .object_ref import ObjectRef, replace_refs
-from .object_store import LocalObjectStore
+from .object_store import LocalObjectStore, SpillFailedError, StoreUnavailableError
 from .ownership import OwnershipTable, ValueState
 from .raylet import Raylet
 from .scheduler import PlacementError, Scheduler
@@ -235,6 +235,11 @@ class ServerlessRuntime:
         self._actor_calls: Dict[str, int] = {}  # completed methods (ckpt cadence)
         self._dead_actors: Dict[str, str] = {}  # actor_id -> cause
         self._dead_nodes: set = set()  # control-plane view (detected/declared)
+        # device-granular failure domains (control-plane view, like _dead_nodes)
+        self._dead_devices: set = set()  # device ids declared/detected dead
+        self._dead_blades: set = set()  # memory-blade node ids declared dead
+        self._takeovers: Dict[str, List[str]] = {}  # node -> adopted device ids
+        self._adopted_from: Dict[str, Raylet] = {}  # device id -> original raylet
         self.actor_restarts = 0
         self.timelines: List[TaskTimeline] = []
         self.tasks_finished = 0
@@ -288,6 +293,7 @@ class ServerlessRuntime:
                 self.config.heartbeat_interval,
                 self.config.heartbeat_miss_threshold,
             )
+        self.scheduler._meter_capacity()  # publish the healthy-cluster baseline
 
     # -- construction ----------------------------------------------------------
 
@@ -300,16 +306,26 @@ class ServerlessRuntime:
     def _build_raylets(self) -> None:
         spill_store = self._build_spill_store()
         self._spill_store = spill_store
+        # device id -> live Device / its object store, takeover-stable views
+        # (raylet adoption rewires _raylet_of_device; these two never change)
+        self._device_by_id: Dict[str, Device] = {
+            dev.device_id: dev for dev in self.cluster.all_devices()
+        }
+        self._store_of_device: Dict[str, LocalObjectStore] = {}
         for node in self.cluster.nodes.values():
             raylets = self._raylets_for_node(node, spill_store)
             self._raylets.extend(raylets)
             self._raylets_by_node[node.node_id] = raylets
             for raylet in raylets:
                 raylet.metrics = self.telemetry.registry
-                for store in raylet.stores.values():
+                for dev_id, store in raylet.stores.items():
                     store.metrics = self.telemetry.registry
+                    store.on_spill = self._on_spilled
+                    self._store_of_device[dev_id] = store
                 for dev in raylet.devices:
                     self._raylet_of_device[dev.device_id] = raylet
+        if spill_store is not None:
+            self._store_of_device[spill_store.device.device_id] = spill_store
 
     def _build_spill_store(self) -> Optional[LocalObjectStore]:
         blades = self.cluster.nodes_of_kind(NodeKind.MEMORY_BLADE)
@@ -351,7 +367,8 @@ class ServerlessRuntime:
             # with a failure detector, the control plane only knows what the
             # heartbeats told it — no peeking at the physical alive bit
             return True
-        return raylet.alive
+        device = self._device_by_id.get(device_id)
+        return raylet.alive and (device is None or device.alive)
 
     # -- event log / liveness -----------------------------------------------
 
@@ -385,18 +402,87 @@ class ServerlessRuntime:
         )
 
     def _find_store_with(self, object_id: str) -> Optional[LocalObjectStore]:
+        """A live, reachable store holding ``object_id``, if any.
+
+        Device-granular: a copy counts only if its backing device is alive
+        AND some live raylet can serve it — which, after a DPU takeover, may
+        be the head raylet rather than the card's own (dead) one.  Blade
+        nodes have no raylet at all; the blade controller itself serves.
+        """
         entry = self.ownership.entry(object_id)
         for node_id in sorted(entry.locations):
-            for raylet in self._raylets_by_node.get(node_id, []):
-                if not raylet.alive:
+            node = self.cluster.nodes.get(node_id)
+            if node is None:
+                continue
+            for dev in node.devices:
+                store = self._store_of_device.get(dev.device_id)
+                if store is None or not dev.alive or not store.contains(object_id):
                     continue
-                store = raylet.find_object(object_id)
-                if store is not None:
-                    return store
-        # overflow objects live on the disaggregated-memory blade
-        if self._spill_store is not None and self._spill_store.contains(object_id):
+                raylet = self._raylet_of_device.get(dev.device_id)
+                if raylet is not None and not raylet.alive:
+                    continue
+                return store
+        # overflow objects live on the disaggregated-memory blade; an
+        # untracked copy (pre-directory spill) is still found here
+        if (
+            self._spill_store is not None
+            and self._spill_store.device.alive
+            and self._spill_store.contains(object_id)
+        ):
             return self._spill_store
         return None
+
+    def _reconcile_stale_entry(self, object_id: str) -> bool:
+        """The directory claims READY copies, but every claimed location is
+        live, healthy hardware that does not actually hold the object — a
+        fault wiped the memory and healed before any detector noticed
+        (e.g. a device power-cycled while the cluster sat idle).  Drop the
+        phantom locations so the entry goes LOST and normal recovery takes
+        over.  Copies on *dead* hardware are left alone: declaring those is
+        the failure detector's job, not ours."""
+        entry = self.ownership.entry(object_id)
+        if entry.state != ValueState.READY:
+            return False
+        if self._find_store_with(object_id) is not None:
+            return False
+        for node_id in entry.locations:
+            node = self.cluster.nodes.get(node_id)
+            if node is None:
+                return False
+            for dev in node.devices:
+                if not dev.alive:
+                    return False
+                raylet = self._raylet_of_device.get(dev.device_id)
+                if raylet is not None and not raylet.alive:
+                    return False
+        stale = sorted(entry.locations)
+        for node_id in stale:
+            self.ownership.drop_location(object_id, node_id)
+        self._record("object_reconciled", object=object_id, stale_locations=stale)
+        return True
+
+    def _on_spilled(self, object_id: str, target: LocalObjectStore) -> None:
+        """Directory upkeep after an LRU spill: the copy now lives on the
+        spill target's node, and any origin node that no longer holds a
+        sibling copy must be dropped — otherwise a later blade death cannot
+        tell which objects it actually took down."""
+        if not self.ownership.contains(object_id):
+            return
+        entry = self.ownership.entry(object_id)
+        entry.locations.add(target.node_id)
+        for node_id in list(entry.locations):
+            if node_id != target.node_id and not self._node_has_copy(node_id, object_id):
+                entry.locations.discard(node_id)
+
+    def _node_has_copy(self, node_id: str, object_id: str) -> bool:
+        node = self.cluster.nodes.get(node_id)
+        if node is None:
+            return False
+        return any(
+            self._store_of_device.get(dev.device_id) is not None
+            and self._store_of_device[dev.device_id].contains(object_id)
+            for dev in node.devices
+        )
 
     # -- public API: objects ------------------------------------------------------
 
@@ -458,6 +544,14 @@ class ServerlessRuntime:
                     for upstream in self._find_lost_upstream(ref.object_id, set()):
                         if upstream not in [r.object_id for r in lost]:
                             lost.append(ObjectRef(upstream))
+                elif not (
+                    self.reliable_cache is not None
+                    and self.reliable_cache.contains(ref.object_id)
+                ) and self._reconcile_stale_entry(ref.object_id):
+                    # READY per the directory but no copy survives anywhere:
+                    # recover the reconciled-to-LOST entry like any other
+                    lost.append(ref)
+                    unresolved.append(ref)
             if deadline is not None and unresolved and self.sim.now >= deadline:
                 raise GetTimeoutError(
                     f"{len(unresolved)}/{len(ref_list)} refs unresolved after "
@@ -782,7 +876,10 @@ class ServerlessRuntime:
             finally:
                 span.finish(self.sim.now)
             if not dst_store.contains(object_id):
-                dst_store.put(object_id, src_store.get(object_id).value, entry.nbytes)
+                try:
+                    dst_store.put(object_id, src_store.get(object_id).value, entry.nbytes)
+                except (SpillFailedError, StoreUnavailableError):
+                    return  # the consumer's pull-retry path will surface this
                 self.ownership.add_location(object_id, ctx.device.node_id)
         if not sig.triggered:
             sig.succeed()
@@ -831,7 +928,11 @@ class ServerlessRuntime:
                 return  # lost/pending: surfaces as a transient fetch failure
             src_store = self._find_store_with(ref.object_id)
             if src_store is None:
-                return  # marked ready but no live copy — same story
+                if self._reconcile_stale_entry(ref.object_id):
+                    # the fetcher is an open consumer: recover the wiped
+                    # object now so its retry finds the fresh copy
+                    self._recover_lost_dependencies([ref.object_id])
+                return  # surfaces as a transient fetch failure; retried
             # 2. pull request round-trip to the source raylet (+ its handling
             # cost); spilled objects are served by the blade controller
             src_raylet = self._raylet_of_device.get(src_store.device.device_id)
@@ -856,7 +957,12 @@ class ServerlessRuntime:
             return  # a partition blocked the bulk fetch
         dst_store = raylet.store_of(ctx.device.device_id)
         if not dst_store.contains(ref.object_id):
-            dst_store.put(ref.object_id, src_store.get(ref.object_id).value, entry.nbytes)
+            try:
+                dst_store.put(
+                    ref.object_id, src_store.get(ref.object_id).value, entry.nbytes
+                )
+            except (SpillFailedError, StoreUnavailableError):
+                return  # surfaces as a fetch miss; the retry policy absorbs it
             self.ownership.add_location(ref.object_id, ctx.device.node_id)
 
     # -- the task lifecycle -------------------------------------------------------------
@@ -876,6 +982,10 @@ class ServerlessRuntime:
             if delivered is False or not raylet.alive:
                 raise _TransientTaskError("lease lost in transit")
             yield raylet.control()
+            if not device.alive:
+                # the raylet can see its own silicon (local knowledge, no
+                # network): it refuses to launch onto a dead companion
+                raise _TransientTaskError(f"device {device.device_id} is dead")
             ctx.timeline.dispatched = self.sim.now
             ctx.state = TaskState.RESOLVING
 
@@ -949,6 +1059,8 @@ class ServerlessRuntime:
                 yield started_proc
                 if not raylet.alive:
                     raise _TransientTaskError("raylet died during execution")
+                if not device.alive:
+                    raise _TransientTaskError("device died during execution")
                 value, nbytes = self._execute_payload(ctx)
                 if spec.actor_id is not None and self.reliable_cache is not None:
                     self._actor_calls[spec.actor_id] = (
@@ -976,7 +1088,12 @@ class ServerlessRuntime:
             store = raylet.store_of(device.device_id)
             if store.contains(ctx.ref.object_id):  # replay may have raced
                 store.delete(ctx.ref.object_id)
-            store.put(ctx.ref.object_id, value, nbytes)
+            try:
+                store.put(ctx.ref.object_id, value, nbytes)
+            except (SpillFailedError, StoreUnavailableError) as exc:
+                # a dead blade refusing the spill (or an output device dying
+                # under us) is a fault to retry around, not an app error
+                raise _TransientTaskError(str(exc)) from None
             self.ownership.mark_ready(
                 ctx.ref.object_id, device.node_id, nbytes, device.device_id
             )
@@ -1500,9 +1617,15 @@ class ServerlessRuntime:
         """
         for raylet in self._raylets_by_node.get(node_id, []):
             raylet.fail()
+        node = self.cluster.nodes.get(node_id)
+        for dev in node.devices if node is not None else []:
+            dev.fail()  # power loss takes every device down with the node
         return self._mark_node_dead(node_id, cause="killed by driver")
 
     def restart_node(self, node_id: str) -> None:
+        node = self.cluster.nodes.get(node_id)
+        for dev in node.devices if node is not None else []:
+            dev.restore()
         for raylet in self._raylets_by_node.get(node_id, []):
             raylet.restart()
         if self.health is None:
@@ -1557,15 +1680,303 @@ class ServerlessRuntime:
                 ):
                     victim.proc.interrupt(f"node {node_id}: {cause}")
 
-    def _recover(self, ref: ObjectRef) -> None:
+    # -- device-granular failure domains -------------------------------------
+    #
+    # Disaggregation changes the failure unit (§2.3, fault tolerance): a GPU,
+    # a DPU, or a memory blade can die while everything around it lives.  The
+    # control plane reacts per *domain* — blacklist one device, adopt one
+    # card's stores, recover one blade's spilled objects — instead of
+    # declaring whole nodes dead.
+
+    def fail_device(self, device_id: str) -> List[str]:
+        """Kill one device *and* tell the control plane (driver omniscience).
+
+        Chaos injections instead do only the physical half and let heartbeat
+        payloads / probe triage discover the death the honest way.  Returns
+        the object ids that became LOST.
+        """
+        device = self._device_by_id[device_id]
+        device.fail()
+        store = self._store_of_device.get(device_id)
+        if store is not None:
+            store.clear()  # the memory died with the silicon
+        for raylet in self._raylets_by_node.get(device.node_id, []):
+            if raylet.host_device is device and raylet.alive:
+                if all(d is device for d in raylet.devices):
+                    raylet.fail()  # its only store just went with it anyway
+                else:
+                    raylet.fail_control()  # companion memory survives
+        self._interrupt_tasks_on_device(device_id, "device failed")
+        lost = self._mark_device_dead(device_id, cause="killed by driver")
+        self._adopt_orphans(device.node_id, cause="killed by driver")
+        return lost
+
+    def restore_device(self, device_id: str) -> None:
+        device = self._device_by_id[device_id]
+        device.restore()
+        for raylet in self._raylets_by_node.get(device.node_id, []):
+            if raylet.host_device is device:
+                raylet.restart()
+        if self.health is None:
+            self._undo_takeover(device.node_id)
+            self._mark_device_alive(device_id)
+        # with heartbeats the device must earn its way back: the next beat's
+        # status payload (or the revived raylet's first beat) clears it
+
+    def _mark_device_dead(self, device_id: str, cause: str) -> List[str]:
+        """Control-plane reaction to one device's death: blacklist exactly
+        that device, sever dangling DeviceHandles, mark objects whose only
+        copy sat in its memory LOST, re-home actors, and proactively recover
+        what open tasks still need.  Idempotent per death."""
+        if device_id in self._dead_devices:
+            return []
+        device = self._device_by_id.get(device_id)
+        if device is None:
+            return []
+        self._dead_devices.add(device_id)
+        self.scheduler.blacklist(device_id)
+        self.ownership.drop_device(device_id)
+        node_id = device.node_id
+        lost: List[str] = []
+        for entry in self.ownership.objects():
+            if node_id in entry.locations and entry.state == ValueState.READY:
+                if not self._node_has_copy(node_id, entry.object_id):
+                    entry.locations.discard(node_id)
+                    if not entry.locations:
+                        entry.state = ValueState.LOST
+                        lost.append(entry.object_id)
+        self._record(
+            "device_dead",
+            device=device_id,
+            node=node_id,
+            cause=cause,
+            objects_lost=len(lost),
+        )
+        self.telemetry.registry.counter(
+            "skadi_device_failures_total",
+            "device deaths the control plane acted on, by device kind",
+            kind=device.kind.value,
+        ).inc()
+        for actor_id in sorted(self._actor_device):
+            if (
+                actor_id not in self._dead_actors
+                and self._actor_device[actor_id] == device_id
+            ):
+                self._restore_actor(actor_id, cause=f"device {device_id} failed")
+        self._interrupt_tasks_on_device(device_id, cause)
+        self._recover_lost_dependencies(lost)
+        return lost
+
+    def _mark_device_alive(self, device_id: str) -> None:
+        if device_id not in self._dead_devices:
+            return
+        self._dead_devices.discard(device_id)
+        self.scheduler.unblacklist(device_id)
+        self._record("device_alive", device=device_id)
+
+    def _on_device_report(self, device_id: str, alive: bool) -> None:
+        """A heartbeat's device-status payload: a live raylet telling the GCS
+        how its managed silicon is doing."""
+        if alive:
+            self._mark_device_alive(device_id)
+        else:
+            self._mark_device_dead(device_id, cause="reported by raylet")
+
+    def _on_triage_verdict(self, node_id: str, dead, live) -> None:
+        """The failure detector probed a silent node's devices: act on the
+        dead domains, and hand orphaned live devices to a takeover raylet."""
+        for device in dead:
+            self._mark_device_dead(device.device_id, cause="failed probe")
+        if live:
+            self._adopt_orphans(node_id, cause="raylet silent")
+
+    def _on_endpoint_alive(self, raylet: Raylet) -> None:
+        """A suspected raylet endpoint beat again (restarted DPU, healed
+        link): the revived daemon reclaims anything the head adopted."""
+        self._undo_takeover(raylet.node_id)
+
+    def _mark_dpu_dead(self, node_id: str, cause: str) -> List[str]:
+        """Omniscient entry point for a DPU death (Gen-1: the card's raylet
+        dies, companion memory survives).  Gen-2 cards have no raylet on the
+        DPU, so there is nothing to adopt — the paper's single-point-of-
+        control contrast."""
+        return self._adopt_orphans(node_id, cause=cause)
+
+    def _on_dpu_alive(self, node_id: str) -> None:
+        self._undo_takeover(node_id)
+
+    def _adopt_orphans(self, node_id: str, cause: str) -> List[str]:
+        """Devices whose control daemon died while their silicon lives get
+        adopted by the head node's raylet: stores are handed over intact,
+        and every control action now crosses the fabric and serializes on
+        the head CPU — degraded mode, not an outage."""
+        head_raylet = self._raylets_by_node[self._head_node().node_id][0]
+        adopted = self._takeovers.setdefault(node_id, [])
+        new: List[str] = []
+        for raylet in self._raylets_by_node.get(node_id, []):
+            if raylet.alive or raylet is head_raylet:
+                continue
+            for dev in list(raylet.devices):
+                if (
+                    not dev.alive
+                    or dev.device_id in self._dead_devices
+                    or dev.device_id in adopted
+                    or dev.device_id not in raylet.stores
+                ):
+                    continue
+                head_raylet.stores[dev.device_id] = raylet.stores[dev.device_id]
+                head_raylet.devices.append(dev)
+                self._raylet_of_device[dev.device_id] = head_raylet
+                self._adopted_from[dev.device_id] = raylet
+                adopted.append(dev.device_id)
+                new.append(dev.device_id)
+            if new:
+                # in-flight attempts lost their control daemon; retries will
+                # re-dispatch through the takeover raylet
+                self._interrupt_tasks_on_raylet(raylet, f"raylet takeover: {cause}")
+        if not adopted:
+            self._takeovers.pop(node_id, None)
+        if new:
+            self._record(
+                "raylet_takeover",
+                node=node_id,
+                devices=sorted(new),
+                by=head_raylet.raylet_id,
+                cause=cause,
+            )
+            self.telemetry.registry.counter(
+                "skadi_raylet_takeovers_total",
+                "orphaned-device adoptions by a surviving raylet",
+            ).inc()
+        return new
+
+    def _undo_takeover(self, node_id: str) -> None:
+        """The original control daemon is back: hand its devices back."""
+        adopted = self._takeovers.pop(node_id, None)
+        if not adopted:
+            return
+        head_raylet = self._raylets_by_node[self._head_node().node_id][0]
+        for dev_id in adopted:
+            original = self._adopted_from.pop(dev_id, None)
+            head_raylet.stores.pop(dev_id, None)
+            head_raylet.devices = [
+                d for d in head_raylet.devices if d.device_id != dev_id
+            ]
+            if original is not None:
+                self._raylet_of_device[dev_id] = original
+        # attempts mid-flight through the takeover raylet must re-dispatch
+        for ctx in list(self._ctxs.values()):
+            for victim in (ctx, ctx.twin):
+                if (
+                    victim is not None
+                    and victim.raylet is head_raylet
+                    and victim.device is not None
+                    and victim.device.device_id in adopted
+                    and victim.state
+                    in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
+                    and victim.proc is not None
+                ):
+                    victim.proc.interrupt("control handed back to revived raylet")
+        self._record("raylet_takeover_end", node=node_id, devices=sorted(adopted))
+
+    def _mark_blade_dead(self, node_id: str, cause: str) -> List[str]:
+        """A memory blade died: every spilled object whose only copy sat
+        there is LOST and must come back via lineage or the reliable cache
+        (there is no compute to blacklist — blades only store)."""
+        if node_id in self._dead_blades:
+            return []
+        self._dead_blades.add(node_id)
+        lost = self.ownership.drop_node(node_id)
+        self._record("blade_dead", node=node_id, cause=cause, objects_lost=len(lost))
+        self.telemetry.registry.counter(
+            "skadi_blade_failures_total",
+            "memory-blade deaths the control plane acted on",
+        ).inc()
+        self._recover_lost_dependencies(lost)
+        return lost
+
+    def _on_blade_alive(self, node_id: str) -> None:
+        if node_id not in self._dead_blades:
+            return
+        self._dead_blades.discard(node_id)
+        self._record("blade_alive", node=node_id)
+
+    def _interrupt_tasks_on_device(self, device_id: str, cause: str) -> None:
+        """In-flight attempts placed on one device resubmit themselves."""
+        for ctx in list(self._ctxs.values()):
+            for victim in (ctx, ctx.twin):
+                if (
+                    victim is not None
+                    and victim.device is not None
+                    and victim.device.device_id == device_id
+                    and victim.state
+                    in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
+                    and victim.proc is not None
+                ):
+                    victim.proc.interrupt(f"device {device_id}: {cause}")
+
+    def _interrupt_tasks_on_raylet(self, raylet: Raylet, cause: str) -> None:
+        for ctx in list(self._ctxs.values()):
+            for victim in (ctx, ctx.twin):
+                if (
+                    victim is not None
+                    and victim.raylet is raylet
+                    and victim.state
+                    in (TaskState.SCHEDULED, TaskState.RESOLVING, TaskState.RUNNING)
+                    and victim.proc is not None
+                ):
+                    victim.proc.interrupt(cause)
+
+    def _recover_lost_dependencies(self, lost: List[str]) -> None:
+        """Proactive recovery: a lost object some open task still depends on
+        is recovered now, instead of waiting for a driver ``get`` to notice."""
+        if not lost:
+            return
+        lost_set = set(lost)
+        needed = set()
+        for ctx in self._ctxs.values():
+            if ctx.state in (TaskState.FINISHED, TaskState.FAILED):
+                continue
+            for dep in ctx.spec.dependencies:
+                if dep.object_id in lost_set:
+                    needed.add(dep.object_id)
+        for oid in sorted(needed):
+            self._record("proactive_recovery", object=oid)
+            self._recover(ObjectRef(oid), proactive=True)
+
+    def _count_recovery(self, source: str, objects: int, nbytes: int) -> None:
+        reg = self.telemetry.registry
+        reg.counter(
+            "skadi_recovered_objects_total",
+            "objects recovered after a failure, by mechanism",
+            source=source,
+        ).inc(objects)
+        reg.counter(
+            "skadi_recovered_bytes_total",
+            "bytes recovered after a failure, by mechanism "
+            "(lineage counts recomputed bytes, caches count re-fetched bytes)",
+            source=source,
+        ).inc(nbytes)
+
+    def _recover(self, ref: ObjectRef, proactive: bool = False) -> None:
         """Bring a LOST object back: checkpoint, reliable cache, or lineage."""
         oid = ref.object_id
-        if self._restore_from_checkpoint(oid):
+        if not proactive and self._restore_from_checkpoint(oid):
+            self._record(
+                "object_recovered",
+                object=oid,
+                source="checkpoint",
+                nbytes=self.ownership.entry(oid).nbytes,
+            )
+            self._count_recovery("checkpoint", 1, self.ownership.entry(oid).nbytes)
             return
         # restore only the checkpoint *frontier* the replay actually needs:
         # walking producers from the target, stop at the first checkpointed
-        # (or still-ready) ancestor on each path
-        self._restore_checkpoint_frontier(oid, set())
+        # (or still-ready) ancestor on each path.  (Proactive recovery runs
+        # inside a simulation process, where the blocking durable reads of
+        # the checkpoint path cannot be issued; cache and lineage can.)
+        if not proactive:
+            self._restore_checkpoint_frontier(oid, set())
         if self.reliable_cache is not None and self.reliable_cache.contains(oid):
             try:
                 value, cost = self.reliable_cache.get(oid)
@@ -1583,12 +1994,34 @@ class ServerlessRuntime:
                 )
                 # charge the reconstruction time in virtual time
                 self.sim.schedule(cost, lambda: None)
+                self._record(
+                    "object_recovered",
+                    object=oid,
+                    source="reliable_cache",
+                    nbytes=entry.nbytes,
+                )
+                self._count_recovery("reliable_cache", 1, entry.nbytes)
                 self._on_object_ready(oid)
                 return
         plan = self.lineage.plan_recovery(oid, self.ownership)
         self.lineage.replays += len(plan)
         if plan:
             self._record("lineage_replay", target=oid, tasks=len(plan))
+            target_entry = self.ownership.entry(oid)
+            recomputed = sum(
+                self.ownership.entry(out).nbytes
+                for spec in plan
+                for out in self.lineage.outputs_of(spec.task_id)
+                if self.ownership.contains(out)
+            )
+            self._record(
+                "object_recovered",
+                object=oid,
+                source="lineage",
+                nbytes=target_entry.nbytes,
+                recomputed_bytes=recomputed,
+            )
+            self._count_recovery("lineage", 1, recomputed)
         for spec in plan:
             old_ids = self.lineage.outputs_of(spec.task_id)
             for out_oid in old_ids:

@@ -59,9 +59,31 @@ class Scheduler:
 
     def blacklist(self, device_id: str) -> None:
         self._blacklisted.add(device_id)
+        self._meter_capacity()
 
     def unblacklist(self, device_id: str) -> None:
         self._blacklisted.discard(device_id)
+        self._meter_capacity()
+
+    def _meter_capacity(self) -> None:
+        """Degraded-mode visibility: how much of the cluster can still be
+        scheduled onto.  Killing a single GPU shrinks these gauges without
+        failing the job — the telemetry face of device-granular failure."""
+        if self.metrics is None:
+            return
+        live = [
+            d
+            for d in self._devices
+            if d.device_id not in self._blacklisted and self.alive_filter(d.device_id)
+        ]
+        self.metrics.gauge(
+            "skadi_scheduler_capacity_slots",
+            "total task slots across schedulable (non-blacklisted, live) devices",
+        ).set(float(sum(d.spec.slots for d in live)))
+        self.metrics.gauge(
+            "skadi_scheduler_schedulable_devices",
+            "devices the scheduler may currently place work on",
+        ).set(float(len(live)))
 
     def is_blacklisted(self, device_id: str) -> bool:
         return device_id in self._blacklisted

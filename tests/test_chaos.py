@@ -6,11 +6,15 @@ import pytest
 
 from repro.caching.replication import ReplicationScheme
 from repro.chaos import (
+    BladeFailure,
     ChaosMonkey,
     ChaosSchedule,
+    DeviceFailure,
+    DpuFailure,
     MessageLoss,
     NetworkPartition,
     NodeCrash,
+    ScheduleValidationError,
     Straggler,
 )
 from repro.cluster.cluster import build_serverful
@@ -83,6 +87,100 @@ class TestChaosSchedule:
     def test_random_needs_nodes(self):
         with pytest.raises(ValueError):
             ChaosSchedule.random(1, node_ids=[], horizon=1.0)
+
+    def test_random_draws_device_granular_faults(self):
+        kwargs = dict(
+            node_ids=["server1"],
+            device_ids=["gpucard0/gpu0"],
+            horizon=1.0,
+            n_crashes=0,
+            n_partitions=0,
+            n_stragglers=0,
+            n_device_failures=2,
+            blade_ids=["memblade0"],
+            n_blade_failures=1,
+            dpu_ids=["gpucard0"],
+            n_dpu_failures=1,
+        )
+        a = ChaosSchedule.random(5, **kwargs)
+        assert a.ordered() == ChaosSchedule.random(5, **kwargs).ordered()
+        assert sum(isinstance(f, DeviceFailure) for f in a) == 2
+        assert sum(isinstance(f, BladeFailure) for f in a) == 1
+        assert sum(isinstance(f, DpuFailure) for f in a) == 1
+
+    def test_new_fault_draws_do_not_perturb_old_seeds(self):
+        """Device-granular draws are appended last, so a legacy seed with
+        the new counts at zero yields the bit-identical legacy schedule."""
+        kwargs = dict(
+            node_ids=["server1", "server2"],
+            device_ids=["server1/cpu"],
+            horizon=1.0,
+            n_crashes=2,
+            n_stragglers=1,
+        )
+        legacy = ChaosSchedule.random(7, **kwargs)
+        extended = ChaosSchedule.random(
+            7, n_device_failures=0, n_blade_failures=0, n_dpu_failures=0, **kwargs
+        )
+        assert legacy.ordered() == extended.ordered()
+
+
+class TestScheduleValidation:
+    """Satellite: malformed schedules fail loudly at ``arm()`` time."""
+
+    def test_negative_injection_time_rejected(self):
+        sched = ChaosSchedule().crash_node(-0.1, "server1")
+        with pytest.raises(ScheduleValidationError, match="negative injection time"):
+            sched.validate()
+
+    def test_non_positive_recovery_window_rejected(self):
+        for sched in (
+            ChaosSchedule().fail_device(0.1, "d0", recover_after=0.0),
+            ChaosSchedule().fail_blade(0.1, "b0", recover_after=-1e-3),
+            ChaosSchedule().fail_dpu(0.1, "c0", recover_after=0.0),
+            ChaosSchedule().crash_node(0.1, "n0", restart_after=-0.5),
+        ):
+            with pytest.raises(ScheduleValidationError, match="must be > 0"):
+                sched.validate()
+
+    def test_unknown_node_rejected_at_arm(self):
+        rt = ServerlessRuntime(build_serverful(n_servers=2), chaos_config())
+        sched = ChaosSchedule().crash_node(1e-3, "server9")
+        with pytest.raises(ScheduleValidationError, match="unknown node 'server9'"):
+            ChaosMonkey(rt, sched).arm()
+
+    def test_unknown_device_rejected_at_arm(self):
+        rt = ServerlessRuntime(build_serverful(n_servers=2), chaos_config())
+        sched = ChaosSchedule().fail_device(1e-3, "server0/tpu0")
+        with pytest.raises(ScheduleValidationError, match="unknown device"):
+            ChaosMonkey(rt, sched).arm()
+
+    def test_unknown_blade_and_partition_member_rejected(self):
+        rt = ServerlessRuntime(build_serverful(n_servers=2), chaos_config())
+        with pytest.raises(ScheduleValidationError, match="unknown node"):
+            ChaosMonkey(rt, ChaosSchedule().fail_blade(1e-3, "memblade7")).arm()
+        with pytest.raises(ScheduleValidationError, match="unknown node"):
+            ChaosMonkey(rt, ChaosSchedule().partition(1e-3, [["ghost"]])).arm()
+
+    def test_valid_schedule_arms_and_nothing_fires_early(self):
+        rt = ServerlessRuntime(build_serverful(n_servers=2), chaos_config())
+        sched = (
+            ChaosSchedule()
+            .crash_node(1.0, "server1", restart_after=0.1)
+            .fail_device(1.0, "server1/cpu", recover_after=0.1)
+        )
+        monkey = ChaosMonkey(rt, sched).arm()
+        assert rt.get(rt.submit(lambda: 1, compute_cost=1e-3)) == 1
+        # the faults fired at their pinned times, long after the workload
+        assert all(fault.at == 1.0 for fault in monkey.injected)
+
+    def test_id_checks_skipped_without_directory(self):
+        # a schedule validated standalone (no cluster directory) still gets
+        # the structural checks, but unknown-id checks need the monkey
+        sched = ChaosSchedule().fail_device(0.1, "anything/goes")
+        sched.validate()  # no error: ids unchecked
+        with pytest.raises(ScheduleValidationError):
+            sched.validate(device_ids=["real/device"])
 
 
 class TestHeartbeatDetection:

@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.hardware import FPGA_SPEC, MEMORY_BLADE_SPEC, Device
-from repro.runtime.object_store import LocalObjectStore, ObjectStoreFullError
+from repro.runtime.object_store import (
+    LocalObjectStore,
+    ObjectStoreFullError,
+    SpillFailedError,
+    StoreUnavailableError,
+)
 
 
 def small_device(sim, capacity=1000):
@@ -87,3 +92,69 @@ class TestSpill:
         store.put("big", "B", 250)
         assert store.contains("big")
         assert len(blade) >= 2
+
+
+def tiny_blade(sim, capacity):
+    return LocalObjectStore(
+        Device(
+            sim,
+            MEMORY_BLADE_SPEC.with_overrides(memory_bytes=capacity),
+            node_id="blade",
+        )
+    )
+
+
+class TestSpillCrashConsistency:
+    """Satellite: a failed spill must never destroy the victim — the write
+    to the spill target happens *before* the local delete."""
+
+    def test_full_spill_target_raises_typed_error_and_retains_victim(self, sim):
+        blade = tiny_blade(sim, capacity=50)
+        device = small_device(sim, capacity=250)
+        store = LocalObjectStore(device, spill_target=blade)
+        store.put("a", "A", 100)
+        store.put("b", "B", 100)
+        with pytest.raises(SpillFailedError, match="victim retained"):
+            store.put("c", "C", 100)
+        # the victim is intact locally, nothing landed on the blade, and
+        # neither store's memory ledger drifted
+        assert store.contains("a") and store.contains("b")
+        assert not store.contains("c")
+        assert not blade.contains("a")
+        assert store.used_bytes == 200
+        assert device.memory_used == 200
+        assert store.spilled_out == 0
+
+    def test_dead_spill_target_raises_typed_error(self, sim):
+        blade = tiny_blade(sim, capacity=1000)
+        store = LocalObjectStore(small_device(sim, capacity=150), spill_target=blade)
+        store.put("a", "A", 100)
+        blade.device.fail()
+        with pytest.raises(SpillFailedError, match="victim retained"):
+            store.put("b", "B", 100)
+        assert store.contains("a")
+        assert store.used_bytes == 100
+
+    def test_spill_failure_is_a_store_full_error(self):
+        # retry plumbing catches ObjectStoreFullError; the subtype must flow
+        # through the same handling without a new except-arm everywhere
+        assert issubclass(SpillFailedError, ObjectStoreFullError)
+
+    def test_put_into_dead_store_raises(self, sim):
+        device = small_device(sim)
+        store = LocalObjectStore(device)
+        device.fail()
+        with pytest.raises(StoreUnavailableError, match="dead device"):
+            store.put("a", "A", 10)
+
+    def test_on_spill_callback_fires_only_after_success(self, sim):
+        calls = []
+        blade = tiny_blade(sim, capacity=100)
+        store = LocalObjectStore(small_device(sim, capacity=150), spill_target=blade)
+        store.on_spill = lambda oid, target: calls.append((oid, target))
+        store.put("a", "A", 100)
+        store.put("b", "B", 100)  # spills a successfully
+        assert calls == [("a", blade)]
+        with pytest.raises(SpillFailedError):
+            store.put("c", "C", 100)  # blade full: b must NOT be reported
+        assert calls == [("a", blade)]

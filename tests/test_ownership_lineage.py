@@ -138,6 +138,57 @@ class TestLineageGraph:
         assert ids.index("base") < ids.index("right")
         assert ids[-1] == "join"
 
+    def _diamond(self):
+        table = OwnershipTable()
+        lineage = LineageGraph()
+        base = _task("base")
+        left = _task("left", args=(ObjectRef("ob"),))
+        right = _task("right", args=(ObjectRef("ob"),))
+        join = _task("join", args=(ObjectRef("ol"), ObjectRef("or")))
+        for t, oid in ((base, "ob"), (left, "ol"), (right, "or"), (join, "oj")):
+            table.create(oid, "w", t.task_id)
+            lineage.record(t, [oid])
+        return table, lineage
+
+    def test_diamond_with_lost_intermediates_plans_minimally(self):
+        """Only the LOST branch replays: the READY sibling is reused."""
+        table, lineage = self._diamond()
+        for oid in ("ob", "ol", "or", "oj"):
+            table.mark_ready(oid, "n0", 1)
+        # a device failure takes out the left intermediate and the join
+        for oid in ("ol", "oj"):
+            table.drop_location(oid, "n0")
+            assert table.entry(oid).state == ValueState.LOST
+        plan = lineage.plan_recovery("oj", table)
+        ids = [t.task_id for t in plan]
+        assert ids == ["left", "join"]  # dependency order, nothing extra
+
+    def test_diamond_with_lost_base_replays_the_whole_slice(self):
+        table, lineage = self._diamond()
+        for oid in ("ob", "ol", "or", "oj"):
+            table.mark_ready(oid, "n0", 1)
+        for oid in ("ob", "ol", "oj"):  # right survives on another node
+            table.drop_location(oid, "n0")
+        plan = lineage.plan_recovery("oj", table)
+        ids = [t.task_id for t in plan]
+        assert ids.count("base") == 1 and "right" not in ids
+        assert ids.index("base") < ids.index("left") < ids.index("join")
+
+    def test_truncated_lineage_raises_unrecoverable(self):
+        """A LOST ancestor with no recorded producer poisons the plan."""
+        table = OwnershipTable()
+        lineage = LineageGraph()
+        # o1 was put by the driver (no lineage), o2 computed from it
+        table.create("o1", "driver", "")
+        t2 = _task("t2", args=(ObjectRef("o1"),))
+        table.create("o2", "w", "t2")
+        lineage.record(t2, ["o2"])
+        table.mark_ready("o1", "n0", 1)
+        table.mark_ready("o2", "n0", 1)
+        table.drop_node("n0")  # both copies gone
+        with pytest.raises(UnrecoverableObjectError):
+            lineage.plan_recovery("o2", table)
+
     def test_no_lineage_raises(self):
         table = OwnershipTable()
         lineage = LineageGraph()
