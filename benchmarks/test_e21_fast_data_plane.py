@@ -1,0 +1,232 @@
+"""E21 — fast data plane: chunking, dedup, multicast, contention (§2.3).
+
+Skadi's headline is that the runtime controls *where bytes travel*; this
+experiment measures the four data-plane mechanisms this repo layers onto
+the simulated fabric, each against its own legacy toggle:
+
+* **chunking** — a large transfer over a >= 3-hop disaggregated route,
+  pipelined cut-through vs. store-and-forward;
+* **dedup** — N concurrent consumers of one object on one node, counting
+  bulk transfers with the in-flight fetch registry on vs. off;
+* **multicast** — a push wave to N consumer nodes, spanning-tree
+  distribution vs. per-consumer unicasts, per-link savings metered;
+* **contention** — a hot-link workload placed by the contention-aware
+  cost model vs. the idle-fabric model.
+
+Acceptance: chunking >= 2x on the 4-hop route, dedup does exactly 1
+transfer, multicast moves fewer link-bytes than unicasts (savings also
+visible in ``skadi_multicast_bytes_saved_total``), contention-aware
+placement beats idle-fabric on makespan — and the numbers land in
+``BENCH_E21.json`` for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench import ResultTable, fmt_bytes, fmt_seconds
+from repro.cluster import DeviceKind, build_physical_disagg, build_serverful
+from repro.cluster.hardware import MB
+from repro.runtime import ResolutionMode, RuntimeConfig, ServerlessRuntime
+
+XFER_NB = 64 * MB  # the chunking probe payload
+FANOUT_NB = 8 * MB  # the dedup / multicast object
+N_CONSUMERS = 4
+
+
+def bench_chunking() -> dict:
+    """(a) 64 MB over the 4-hop gpu->dpu->ToR->dpu->gpu route."""
+
+    def timed(chunked: bool) -> float:
+        cluster = build_physical_disagg()
+        rt = ServerlessRuntime(cluster, RuntimeConfig(chunked_transfers=chunked))
+        hops = cluster.topology.hop_count("gpucard0/gpu0", "gpucard1/gpu0")
+        assert hops >= 3, f"route too short for the cut-through probe: {hops}"
+        rt.net.transfer("gpucard0/gpu0", "gpucard1/gpu0", XFER_NB)
+        rt.sim.run()
+        return rt.sim.now
+
+    t_off, t_on = timed(False), timed(True)
+    return {
+        "nbytes": XFER_NB,
+        "hops": 4,
+        "time_store_and_forward": t_off,
+        "time_chunked": t_on,
+        "speedup": t_off / t_on,
+    }
+
+
+def fanout_runtime(**overrides) -> ServerlessRuntime:
+    overrides.setdefault("resolution", ResolutionMode.PULL)
+    return ServerlessRuntime(
+        build_serverful(n_servers=N_CONSUMERS + 1), RuntimeConfig(**overrides)
+    )
+
+
+def run_fanout(rt: ServerlessRuntime, spread: bool) -> ServerlessRuntime:
+    """N concurrent consumers of one head-node object; ``spread`` pins one
+    consumer per node (multicast shape), else all onto one node (dedup)."""
+    ref = rt.put(b"x" * 64, nbytes=FANOUT_NB)
+    outs = [
+        rt.submit(
+            lambda x: len(x),
+            (ref,),
+            compute_cost=1e-5,
+            pinned_device=f"server{i + 1 if spread else 1}/cpu",
+            name=f"consumer{i}",
+        )
+        for i in range(N_CONSUMERS)
+    ]
+    assert rt.get(outs) == [64] * N_CONSUMERS
+    return rt
+
+
+def bench_dedup() -> dict:
+    """(b) N concurrent same-object fetches to one node."""
+    on = run_fanout(fanout_runtime(fetch_dedup=True), spread=False)
+    off = run_fanout(fanout_runtime(fetch_dedup=False), spread=False)
+    return {
+        "consumers": N_CONSUMERS,
+        "nbytes": FANOUT_NB,
+        "transfers_dedup": on.net.stats.transfers,
+        "transfers_legacy": off.net.stats.transfers,
+        "bytes_dedup": on.net.stats.bytes_moved,
+        "bytes_legacy": off.net.stats.bytes_moved,
+        "fetches_deduped": on.raylet_for_device("server1/cpu").fetches_deduped,
+    }
+
+
+def bench_multicast() -> dict:
+    """(c) push wave of one object to N consumer nodes."""
+    on = run_fanout(
+        fanout_runtime(resolution=ResolutionMode.PUSH, multicast_pushes=True),
+        spread=True,
+    )
+    off = run_fanout(
+        fanout_runtime(resolution=ResolutionMode.PUSH, multicast_pushes=False),
+        spread=True,
+    )
+    metered = on.telemetry.registry.counter(
+        "skadi_multicast_bytes_saved_total",
+        "bytes multicast trees avoided serializing vs. per-consumer unicasts",
+    ).value
+    return {
+        "consumers": N_CONSUMERS,
+        "nbytes": FANOUT_NB,
+        "link_bytes_multicast": sum(on.net.stats.bytes_by_link.values()),
+        "link_bytes_unicast": sum(off.net.stats.bytes_by_link.values()),
+        "bytes_saved_metered": metered,
+        "uplink_bytes_multicast": on.net.stats.bytes_by_link[
+            ("server0/cpu", on.cluster.switch_id)
+        ],
+        "uplink_bytes_unicast": off.net.stats.bytes_by_link[
+            ("server0/cpu", off.cluster.switch_id)
+        ],
+    }
+
+
+def bench_contention() -> dict:
+    """(d) hot-link placement: the input's nearest GPU sits behind a
+    backlogged PCIe link; the contention-aware model routes around it."""
+
+    def makespan(aware: bool) -> float:
+        rt = ServerlessRuntime(
+            build_serverful(n_servers=3, gpus_per_server=1),
+            RuntimeConfig(
+                resolution=ResolutionMode.PULL,
+                contention_aware_placement=aware,
+            ),
+        )
+        ref = rt.put(b"x" * 64, nbytes=32 * MB)  # on server0's CPU store
+        for _ in range(4):  # 1 GB queued ahead on server0's PCIe link
+            rt.net.transfer("server0/cpu", "server0/gpu0", 256 * MB)
+        outs = [
+            rt.submit(
+                lambda x: len(x),
+                (ref,),
+                compute_cost=1e-5,
+                supported_kinds=frozenset({DeviceKind.GPU}),
+                name=f"gpu-task{i}",
+            )
+            for i in range(N_CONSUMERS)
+        ]
+        rt.get(outs)
+        return max(t.finished for t in rt.timelines)
+
+    hot = makespan(False)
+    steered = makespan(True)
+    return {
+        "makespan_idle_model": hot,
+        "makespan_contention_aware": steered,
+        "speedup": hot / steered,
+    }
+
+
+def test_e21_fast_data_plane():
+    chunking = bench_chunking()
+    dedup = bench_dedup()
+    multicast = bench_multicast()
+    contention = bench_contention()
+
+    table = ResultTable(
+        "E21: fast data plane (each mechanism vs. its legacy toggle)",
+        ["mechanism", "legacy", "fast plane", "win"],
+    )
+    table.add_row(
+        "chunked cut-through (64 MB, 4 hops)",
+        fmt_seconds(chunking["time_store_and_forward"]),
+        fmt_seconds(chunking["time_chunked"]),
+        f"{chunking['speedup']:.2f}x",
+    )
+    table.add_row(
+        f"fetch dedup ({N_CONSUMERS} consumers, 1 node)",
+        f"{dedup['transfers_legacy']} transfers",
+        f"{dedup['transfers_dedup']} transfer",
+        fmt_bytes(dedup["bytes_legacy"] - dedup["bytes_dedup"]) + " saved",
+    )
+    table.add_row(
+        f"multicast push ({N_CONSUMERS} consumer nodes)",
+        fmt_bytes(multicast["link_bytes_unicast"]),
+        fmt_bytes(multicast["link_bytes_multicast"]),
+        fmt_bytes(multicast["bytes_saved_metered"]) + " metered",
+    )
+    table.add_row(
+        "contention-aware placement (hot PCIe)",
+        fmt_seconds(contention["makespan_idle_model"]),
+        fmt_seconds(contention["makespan_contention_aware"]),
+        f"{contention['speedup']:.2f}x",
+    )
+    table.show()
+
+    # (a) pipelining over >= 3 hops is at least 2x
+    assert chunking["speedup"] >= 2.0
+    # (b) N concurrent same-object fetches collapse onto exactly 1 transfer
+    assert dedup["transfers_dedup"] == 1
+    assert dedup["transfers_legacy"] == N_CONSUMERS
+    assert dedup["fetches_deduped"] == N_CONSUMERS - 1
+    # (c) the tree beats per-consumer unicasts, and the savings are metered:
+    # the head node's uplink serializes the object once instead of N times
+    # (the residue on the link is control-message frames, identical in both)
+    assert multicast["link_bytes_multicast"] < multicast["link_bytes_unicast"]
+    assert (
+        multicast["uplink_bytes_unicast"] - multicast["uplink_bytes_multicast"]
+        == (N_CONSUMERS - 1) * FANOUT_NB
+    )
+    assert multicast["bytes_saved_metered"] >= (N_CONSUMERS - 1) * FANOUT_NB
+    # (d) pricing the backlog beats assuming an idle fabric
+    assert contention["speedup"] > 1.0
+
+    results = {
+        "experiment": "E21",
+        "chunking": chunking,
+        "dedup": dedup,
+        "multicast": multicast,
+        "contention": contention,
+    }
+    artifacts = os.environ.get("BENCH_ARTIFACTS")
+    out_dir = artifacts or os.path.join(os.path.dirname(__file__), "baselines")
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "BENCH_E21.json"), "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")

@@ -99,6 +99,11 @@ class Signal(Awaitable):
     signalled value.  Use :meth:`succeed` from model code.
     """
 
+    # Signals are the single hottest allocation in transfer-heavy runs
+    # (every link grant and every chunk arrival is one); an empty __slots__
+    # keeps them dict-free like the other awaitables.
+    __slots__ = ()
+
     def succeed(self, value: Any = None) -> None:
         self.trigger(value)
 
@@ -224,6 +229,8 @@ class Resource:
     model deterministic.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_queue")
+
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -275,6 +282,8 @@ class Resource:
 class Channel:
     """An unbounded FIFO message channel between processes."""
 
+    __slots__ = ("sim", "name", "_items", "_getters")
+
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
@@ -301,7 +310,7 @@ class Channel:
         return sig
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     time: float
     seq: int

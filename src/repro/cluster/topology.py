@@ -101,6 +101,8 @@ class Topology:
 
     def degradation(self, a: str, b: str) -> float:
         """Current slowdown factor for one hop (1.0 = healthy)."""
+        if not self._degraded:  # the common case: skip the sort+tuple build
+            return 1.0
         return self._degraded.get(tuple(sorted((a, b))), 1.0)
 
     # -- routing -----------------------------------------------------------

@@ -67,6 +67,21 @@ class RuntimeConfig:
     # orphan tasks, placement hazards, memory over-subscription) before any
     # task is submitted, and refuse to launch plans with errors.
     strict_plans: bool = False
+    # -- fast data plane.  Each mechanism has its own switch so the
+    # benchmarks can A/B them independently; turning all four off recovers
+    # the legacy store-and-forward data plane bit-for-bit.
+    # chunked cut-through: pipeline bulk transfers across hops in fixed
+    # chunks instead of serializing the whole object once per hop
+    chunked_transfers: bool = True
+    # concurrent consumers of one object on one device share a single
+    # in-flight transfer instead of each paying the bytes
+    fetch_dedup: bool = True
+    # push-mode waves distribute one object to many consumers along a
+    # spanning tree (serialize once per link) instead of per-consumer unicasts
+    multicast_pushes: bool = True
+    # locality placement prices per-link queueing + degradation into its
+    # transfer-time estimates instead of assuming an idle fabric
+    contention_aware_placement: bool = True
     # accounting
     track_task_timeline: bool = True
 

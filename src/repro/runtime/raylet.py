@@ -18,10 +18,10 @@ slow DPU a bottleneck for swarms of short-lived ops.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..cluster.hardware import Device, DeviceKind
-from ..cluster.simtime import Resource, Simulator
+from ..cluster.simtime import Resource, Signal, Simulator
 from .object_store import LocalObjectStore
 
 __all__ = ["Raylet"]
@@ -50,6 +50,12 @@ class Raylet:
         }
         self.control_slot = Resource(sim, capacity=1, name=f"ctrl:{self.raylet_id}")
         self.control_actions = 0
+        # in-flight fetch registry: (object_id, device_id) -> completion
+        # signal of the transfer currently bringing that object to that
+        # device.  Concurrent consumers attach to the pending fetch instead
+        # of paying the bytes again (fetch deduplication).
+        self._inflight_fetches: Dict[Tuple[str, str], Signal] = {}
+        self.fetches_deduped = 0
         # telemetry MetricsRegistry, wired in by the runtime (duck-typed)
         self.metrics = None
         self.alive = True
@@ -85,6 +91,46 @@ class Raylet:
                 return store
         return None
 
+    # -- fetch deduplication --------------------------------------------------
+
+    def pending_fetch(self, object_id: str, device_id: str) -> Optional[Signal]:
+        """The in-flight fetch of ``object_id`` to ``device_id``, if any."""
+        return self._inflight_fetches.get((object_id, device_id))
+
+    def begin_fetch(self, object_id: str, device_id: str) -> Signal:
+        """Register a fetch as in flight; later requesters ride its signal.
+
+        The caller owns the fetch and must call :meth:`end_fetch` when it
+        completes (successfully or not).
+        """
+        sig = Signal(self.sim)
+        self._inflight_fetches[(object_id, device_id)] = sig
+        return sig
+
+    def end_fetch(self, object_id: str, device_id: str) -> None:
+        sig = self._inflight_fetches.pop((object_id, device_id), None)
+        if sig is not None and not sig.triggered:
+            sig.succeed()
+
+    def note_deduped_fetch(self, device_id: str) -> None:
+        self.fetches_deduped += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "skadi_fetch_dedup_total",
+                "concurrent same-object fetches coalesced onto one transfer",
+                raylet=self.raylet_id,
+                device=device_id,
+            ).inc()
+
+    def abort_fetches(self) -> None:
+        """Release every waiter parked on this raylet's in-flight fetches
+        (used on failure so followers fall into their retry paths instead
+        of waiting on a dead leader)."""
+        pending, self._inflight_fetches = self._inflight_fetches, {}
+        for sig in pending.values():
+            if not sig.triggered:
+                sig.succeed()
+
     def control(self, actions: int = 1):
         """A process charging ``actions`` control-plane handling costs.
 
@@ -114,6 +160,7 @@ class Raylet:
         if self.alive:
             self.failures += 1
         self.alive = False
+        self.abort_fetches()
         for store in self.stores.values():
             store.clear()
 
@@ -128,6 +175,7 @@ class Raylet:
         if self.alive:
             self.failures += 1
         self.alive = False
+        self.abort_fetches()
 
     def restart(self) -> None:
         if not self.alive:

@@ -195,6 +195,9 @@ class ServerlessRuntime:
         # the lower layers can be handed their (duck-typed) registries
         self.telemetry = Telemetry(clock=lambda: self.sim.now)
         self.net.metrics = self.telemetry.registry
+        if not self.config.chunked_transfers:
+            # legacy store-and-forward: every transfer is one chunk per hop
+            self.net.chunk_bytes = None
         self.ownership = OwnershipTable()
         self.lineage = LineageGraph()
 
@@ -218,6 +221,7 @@ class ServerlessRuntime:
             schedulable,
             endpoint=self.gcs_endpoint,
             metrics=self.telemetry.registry,
+            contention_aware=self.config.contention_aware_placement,
         )
         self.scheduler.alive_filter = self._device_alive
 
@@ -227,6 +231,9 @@ class ServerlessRuntime:
         self._gangs: Dict[str, List[_TaskCtx]] = {}
         self._subs: Dict[str, List[_TaskCtx]] = {}  # push subscriptions
         self._arrivals: Dict[Tuple[str, str], Signal] = {}
+        # push-mode multicast coalescing: pushes of one object queued this
+        # instant, flushed as a single spanning-tree distribution
+        self._pending_pushes: Dict[str, List[_TaskCtx]] = {}
         self._actor_state: Dict[str, Any] = {}
         self._actor_locks: Dict[str, "Signal"] = {}
         self._actor_queues: Dict[str, List] = {}
@@ -841,9 +848,111 @@ class ServerlessRuntime:
             self._subs.setdefault(oid, []).append(ctx)
             if self.ownership.is_ready(oid):
                 # producer already done: push starts immediately
-                self.sim.process(
-                    self._push_to(oid, ctx), name=f"push:{oid}->{ctx.device.device_id}"
-                )
+                self._queue_push(oid, ctx)
+
+    def _queue_push(self, object_id: str, ctx: _TaskCtx) -> None:
+        """Start (or coalesce) a proactive push of one object to one consumer.
+
+        With multicast enabled, pushes of the same object queued at the same
+        virtual instant are batched and flushed one event later as a single
+        spanning-tree distribution; otherwise each consumer gets a unicast.
+        """
+        assert ctx.device is not None
+        if not self.config.multicast_pushes:
+            self.sim.process(
+                self._push_to(object_id, ctx),
+                name=f"push:{object_id}->{ctx.device.device_id}",
+            )
+            return
+        batch = self._pending_pushes.setdefault(object_id, [])
+        batch.append(ctx)
+        if len(batch) == 1:
+            self.sim.schedule(0.0, self._flush_pushes, object_id)
+
+    def _flush_pushes(self, object_id: str) -> None:
+        batch = self._pending_pushes.pop(object_id, [])
+        if not batch:
+            return
+        by_dev: Dict[str, _TaskCtx] = {}
+        for ctx in batch:
+            assert ctx.device is not None
+            by_dev.setdefault(ctx.device.device_id, ctx)
+        if len(by_dev) == 1:
+            # a single consumer device: a tree would degenerate to the route
+            ctx = next(iter(by_dev.values()))
+            self.sim.process(
+                self._push_to(object_id, ctx),
+                name=f"push:{object_id}->{ctx.device.device_id}",
+            )
+            return
+        self.sim.process(
+            self._multicast_push(object_id, by_dev), name=f"mcast:{object_id}"
+        )
+
+    def _multicast_push(self, object_id: str, by_dev: Dict[str, _TaskCtx]) -> Generator:
+        """Distribute one ready object to a wave of consumer devices along a
+        spanning tree: each fabric link serializes the payload once, however
+        many consumers sit behind it."""
+        src_store = self._find_store_with(object_id)
+        if src_store is None:
+            return  # lost; recovery path will handle it
+        entry = self.ownership.entry(object_id)
+        src_dev = src_store.device.device_id
+        targets: List[str] = []
+        for dev_id in sorted(by_dev):
+            sig = self._arrival_signal(object_id, dev_id)
+            if sig.triggered:
+                continue
+            ctx = by_dev[dev_id]
+            assert ctx.raylet is not None
+            if dev_id == src_dev or ctx.raylet.store_of(dev_id).contains(object_id):
+                sig.succeed()
+                continue
+            targets.append(dev_id)
+        if not targets:
+            return
+        # register each leg with the fetch-dedup registry so concurrent
+        # pulls/pushes of the same object ride this distribution
+        guards: List[Tuple[Raylet, str]] = []
+        if self.config.fetch_dedup:
+            for dev_id in targets:
+                raylet = self._raylet_of_device.get(dev_id)
+                if raylet is not None and raylet.pending_fetch(object_id, dev_id) is None:
+                    raylet.begin_fetch(object_id, dev_id)
+                    guards.append((raylet, dev_id))
+        span = self.telemetry.tracer.start_span(
+            f"mcast:{object_id}",
+            "transfer",
+            object_id=object_id,
+            nbytes=entry.nbytes,
+            consumers=len(targets),
+        )
+        try:
+            delivered = yield self.net.multicast(
+                src_dev, targets, entry.nbytes, label=f"push:{object_id}"
+            )
+        finally:
+            span.finish(self.sim.now)
+            for raylet, dev_id in guards:
+                raylet.end_fetch(object_id, dev_id)
+        reached = set(delivered or [])
+        for dev_id in targets:
+            if dev_id not in reached:
+                continue  # partitioned off; its pull-retry path takes over
+            ctx = by_dev[dev_id]
+            assert ctx.device is not None and ctx.raylet is not None
+            dst_store = ctx.raylet.store_of(dev_id)
+            if not dst_store.contains(object_id):
+                try:
+                    dst_store.put(
+                        object_id, src_store.get(object_id).value, entry.nbytes
+                    )
+                except (SpillFailedError, StoreUnavailableError):
+                    continue
+                self.ownership.add_location(object_id, ctx.device.node_id)
+            sig = self._arrival_signal(object_id, dev_id)
+            if not sig.triggered:
+                sig.succeed()
 
     def _push_to(self, object_id: str, ctx: _TaskCtx) -> Generator:
         """Producer-side proactive push of one object to a consumer device."""
@@ -851,12 +960,30 @@ class ServerlessRuntime:
         sig = self._arrival_signal(object_id, ctx.device.device_id)
         if sig.triggered:
             return
+        if self.config.fetch_dedup:
+            pending = ctx.raylet.pending_fetch(object_id, ctx.device.device_id)
+            if pending is not None:
+                # another push/pull is already moving this object here
+                ctx.raylet.note_deduped_fetch(ctx.device.device_id)
+                yield pending
+                if (
+                    ctx.raylet.store_of(ctx.device.device_id).contains(object_id)
+                    and not sig.triggered
+                ):
+                    sig.succeed()
+                return
         src_store = self._find_store_with(object_id)
         if src_store is None:
             return  # lost; recovery path will handle it
         entry = self.ownership.entry(object_id)
         dst_store = ctx.raylet.store_of(ctx.device.device_id)
         if src_store is not dst_store:
+            guard = (
+                self.config.fetch_dedup
+                and ctx.raylet.pending_fetch(object_id, ctx.device.device_id) is None
+            )
+            if guard:
+                ctx.raylet.begin_fetch(object_id, ctx.device.device_id)
             span = self.telemetry.tracer.start_span(
                 f"push:{object_id}",
                 "transfer",
@@ -875,6 +1002,8 @@ class ServerlessRuntime:
                 )
             finally:
                 span.finish(self.sim.now)
+                if guard:
+                    ctx.raylet.end_fetch(object_id, ctx.device.device_id)
             if not dst_store.contains(object_id):
                 try:
                     dst_store.put(object_id, src_store.get(object_id).value, entry.nbytes)
@@ -909,6 +1038,34 @@ class ServerlessRuntime:
             span.finish(self.sim.now)
 
     def _pull_inner(self, ref: ObjectRef, ctx: _TaskCtx) -> Generator:
+        assert ctx.device is not None and ctx.raylet is not None
+        if not self.config.fetch_dedup:
+            yield from self._fetch_object(ref, ctx)
+            return
+        device_id = ctx.device.device_id
+        pending = ctx.raylet.pending_fetch(ref.object_id, device_id)
+        if pending is not None:
+            # another consumer on this device is already fetching the
+            # object: ride its transfer instead of paying the bytes again.
+            # If the leader fails, the local-store recheck in _run_task
+            # surfaces this as a transient fetch failure and retries.
+            ctx.raylet.note_deduped_fetch(device_id)
+            if self.ownership.contains(ref.object_id):
+                entry = self.ownership.entry(ref.object_id)
+                reg = self.telemetry.registry
+                reg.counter(
+                    "skadi_fetch_dedup_bytes_saved_total",
+                    "payload bytes not re-transferred thanks to fetch dedup",
+                ).inc(entry.nbytes)
+            yield pending
+            return
+        ctx.raylet.begin_fetch(ref.object_id, device_id)
+        try:
+            yield from self._fetch_object(ref, ctx)
+        finally:
+            ctx.raylet.end_fetch(ref.object_id, device_id)
+
+    def _fetch_object(self, ref: ObjectRef, ctx: _TaskCtx) -> Generator:
         assert ctx.device is not None and ctx.raylet is not None
         raylet = ctx.raylet
         sibling_store = raylet.find_object(ref.object_id)
@@ -1132,13 +1289,11 @@ class ServerlessRuntime:
             if self.config.track_task_timeline:
                 self.timelines.append(ctx.timeline)
 
-            # 8. proactive pushes to subscribed consumers
+            # 8. proactive pushes to subscribed consumers (a wave of
+            # consumers coalesces into one multicast distribution)
             if self.config.resolution == ResolutionMode.PUSH:
                 for sub in self._subs.pop(ctx.ref.object_id, []):
-                    self.sim.process(
-                        self._push_to(ctx.ref.object_id, sub),
-                        name=f"push:{ctx.ref.object_id}",
-                    )
+                    self._queue_push(ctx.ref.object_id, sub)
             self._on_object_ready(ctx.ref.object_id)
             if not main.done.triggered:
                 main.done.succeed()

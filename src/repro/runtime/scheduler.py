@@ -38,6 +38,7 @@ class Scheduler:
         schedulable_devices: Sequence[Device],
         endpoint: str,
         metrics=None,
+        contention_aware: bool = False,
     ):
         if not schedulable_devices:
             raise PlacementError("no schedulable devices in the cluster")
@@ -46,6 +47,8 @@ class Scheduler:
         self.policy = policy
         self.endpoint = endpoint  # where the scheduler runs (control messages)
         self.metrics = metrics  # optional telemetry MetricsRegistry
+        # price per-link queueing into locality estimates (vs. idle fabric)
+        self.contention_aware = contention_aware
         self._devices = list(schedulable_devices)
         self._outstanding: Dict[str, int] = {d.device_id: 0 for d in self._devices}
         self._rr_cursor = 0
@@ -186,8 +189,13 @@ class Scheduler:
 
     def _place_locality(self, task: TaskSpec, candidates: List[Device]) -> Device:
         """Data-centric: minimize estimated bytes-over-links to gather inputs,
-        then compute time, then queueing."""
+        then compute time, then queueing.
+
+        With ``contention_aware`` the estimates price in each link's queued
+        backlog and residual busy window, so a candidate behind a hot link
+        loses to an equally-distant candidate on an idle path."""
         deps = task.dependencies
+        contended = self.contention_aware
 
         def cost(device: Device) -> tuple:
             move_time = 0.0
@@ -200,7 +208,10 @@ class Scheduler:
                 # cheapest source copy
                 best = min(
                     self.cluster.network.transfer_time_estimate(
-                        self._node_data_endpoint(loc), device.device_id, entry.nbytes
+                        self._node_data_endpoint(loc),
+                        device.device_id,
+                        entry.nbytes,
+                        contended=contended,
                     )
                     for loc in sorted(entry.locations)
                 )
