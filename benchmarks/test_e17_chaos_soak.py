@@ -71,7 +71,9 @@ def make_schedule(seed):
     )
 
 
-def run_soak(seed, chaos=True):
+def run_soak(seed, chaos=True, **config_overrides):
+    """Run the soak; ``config_overrides`` lets equivalence tests flip the
+    overload-control switches on top of the canonical E17 config."""
     cluster = build_serverful(n_servers=N_SERVERS)
     cache = make_reliable_cache(cluster, ReplicationScheme(2))
     rt = ServerlessRuntime(
@@ -84,6 +86,7 @@ def run_soak(seed, chaos=True):
             retry_backoff_base=2e-3,
             speculation_factor=4.0,
             actor_checkpoint_every=1,
+            **config_overrides,
         ),
         reliable_cache=cache,
     )

@@ -17,6 +17,7 @@ from .events import (
     DpuFailure,
     Fault,
     LinkDegradation,
+    LoadBurst,
     MessageLoss,
     NetworkPartition,
     NodeCrash,
@@ -33,6 +34,7 @@ __all__ = [
     "DpuFailure",
     "Fault",
     "LinkDegradation",
+    "LoadBurst",
     "MessageLoss",
     "NetworkPartition",
     "NodeCrash",

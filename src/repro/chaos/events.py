@@ -25,6 +25,7 @@ __all__ = [
     "DeviceFailure",
     "BladeFailure",
     "DpuFailure",
+    "LoadBurst",
     "ChaosSchedule",
     "ScheduleValidationError",
 ]
@@ -140,6 +141,24 @@ class DpuFailure(Fault):
     recover_after: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class LoadBurst(Fault):
+    """An open-loop arrival spike: ``n_tasks`` submissions over ``duration``.
+
+    Overload is a fault like any other — the monkey submits tasks drawn
+    from its ``task_source`` at a fixed open-loop rate (evenly spaced, plus
+    optional seeded jitter), regardless of whether the runtime is keeping
+    up.  That open loop is what makes retry storms metastable: offered load
+    does not slacken when goodput collapses.  ``duration=0`` delivers the
+    whole burst at one instant.
+    """
+
+    n_tasks: int = 0
+    duration: float = 0.0
+    seed: int = 0
+    jitter: float = 0.0  # fraction of the inter-arrival gap, uniform +/-
+
+
 class ChaosSchedule:
     """An ordered fault plan, built fluently or drawn from a seed."""
 
@@ -204,6 +223,23 @@ class ChaosSchedule:
         self, at: float, node_id: str, recover_after: Optional[float] = None
     ) -> "ChaosSchedule":
         self.faults.append(DpuFailure(at, node_id, recover_after))
+        return self
+
+    def burst(
+        self,
+        at: float,
+        n_tasks: int,
+        duration: float = 0.0,
+        seed: int = 0,
+        jitter: float = 0.0,
+    ) -> "ChaosSchedule":
+        if n_tasks < 1:
+            raise ValueError(f"burst needs n_tasks >= 1, got {n_tasks}")
+        if duration < 0:
+            raise ValueError(f"burst duration must be >= 0, got {duration}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"burst jitter must be in [0, 1), got {jitter}")
+        self.faults.append(LoadBurst(at, n_tasks, duration, seed, jitter))
         return self
 
     # -- validation ----------------------------------------------------------
@@ -282,6 +318,17 @@ class ChaosSchedule:
                 check_window(fault, "duration", fault.duration)
             elif isinstance(fault, MessageLoss):
                 check_window(fault, "duration", fault.duration)
+            elif isinstance(fault, LoadBurst):
+                if fault.n_tasks < 1:
+                    raise ScheduleValidationError(
+                        f"LoadBurst at t={fault.at} needs n_tasks >= 1, "
+                        f"got {fault.n_tasks}"
+                    )
+                if fault.duration < 0:
+                    raise ScheduleValidationError(
+                        f"LoadBurst at t={fault.at} has negative duration "
+                        f"{fault.duration}"
+                    )
 
     # -- introspection -------------------------------------------------------
 

@@ -15,9 +15,12 @@ seeded runs can be compared signature-for-signature.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, TYPE_CHECKING
+import random as _random
+
+from typing import Callable, List, Optional, Set, TYPE_CHECKING
 
 from ..cluster.hardware import DeviceKind
+from ..runtime.overload import AdmissionRejectedError
 from .events import (
     BladeFailure,
     ChaosSchedule,
@@ -25,6 +28,7 @@ from .events import (
     DpuFailure,
     Fault,
     LinkDegradation,
+    LoadBurst,
     MessageLoss,
     NetworkPartition,
     NodeCrash,
@@ -40,11 +44,21 @@ __all__ = ["ChaosMonkey"]
 class ChaosMonkey:
     """Schedules a :class:`ChaosSchedule`'s faults on the simulator clock."""
 
-    def __init__(self, runtime: "ServerlessRuntime", schedule: ChaosSchedule):
+    def __init__(
+        self,
+        runtime: "ServerlessRuntime",
+        schedule: ChaosSchedule,
+        task_source: Optional[Callable[[int], object]] = None,
+    ):
         self.runtime = runtime
         self.sim = runtime.sim
         self.schedule = schedule
         self.injected: List[Fault] = []
+        # LoadBurst needs a workload to inject: task_source(i) submits the
+        # i-th burst task (and may raise AdmissionRejectedError, counted below)
+        self.task_source = task_source
+        self.load_submitted = 0
+        self.load_rejected = 0
         self._armed = False
         self._reactive_fired: Set[str] = set()
 
@@ -57,6 +71,13 @@ class ChaosMonkey:
         """
         if self._armed:
             raise RuntimeError("chaos monkey is already armed")
+        if self.task_source is None and any(
+            isinstance(f, LoadBurst) for f in self.schedule.faults
+        ):
+            raise RuntimeError(
+                "schedule contains a LoadBurst but the monkey has no "
+                "task_source to draw submissions from"
+            )
         cluster = self.runtime.cluster
         self.schedule.validate(
             node_ids=[n for n in cluster.nodes],
@@ -102,6 +123,8 @@ class ChaosMonkey:
             self._fail_blade(fault)
         elif isinstance(fault, DpuFailure):
             self._fail_dpu(fault)
+        elif isinstance(fault, LoadBurst):
+            self._burst(fault)
         else:  # pragma: no cover - future fault kinds
             raise TypeError(f"unknown fault {fault!r}")
 
@@ -182,6 +205,34 @@ class ChaosMonkey:
     def _unslow(self, device_id: str) -> None:
         self.runtime._record("chaos_straggler_end", device=device_id)
         self.runtime.cluster.device(device_id).slowdown = 1.0
+
+    # -- overload (open-loop arrival spikes) ----------------------------------
+
+    def _burst(self, fault: LoadBurst) -> None:
+        """Open-loop load: the offered rate is fixed by the schedule, not by
+        how fast the runtime absorbs it.  Submissions are spread evenly over
+        the window (plus optional seeded jitter), so two runs of the same
+        seed offer a bit-identical arrival pattern."""
+        rt = self.runtime
+        rt._record(
+            "chaos_load_burst", n_tasks=fault.n_tasks, duration=fault.duration
+        )
+        gap = fault.duration / fault.n_tasks if fault.n_tasks else 0.0
+        rng = _random.Random(fault.seed) if fault.jitter > 0.0 else None
+        for i in range(fault.n_tasks):
+            delay = i * gap
+            if rng is not None:
+                delay += gap * fault.jitter * (2.0 * rng.random() - 1.0)
+                delay = max(0.0, delay)
+            self.sim.schedule(delay, self._submit_load, i)
+
+    def _submit_load(self, i: int) -> None:
+        try:
+            self.task_source(i)
+        except AdmissionRejectedError:
+            self.load_rejected += 1
+        else:
+            self.load_submitted += 1
 
     # -- device-granular failure domains -------------------------------------
 

@@ -7,13 +7,27 @@ resolution, data-centric and gang scheduling, lineage and reliable-cache
 fault tolerance.
 """
 
-from .config import Generation, ResolutionMode, RuntimeConfig, SchedulingPolicy
+from .config import (
+    AdmissionPolicy,
+    Generation,
+    ResolutionMode,
+    RuntimeConfig,
+    SchedulingPolicy,
+)
 from .events import EventLog, RuntimeEvent
 from .health import HeartbeatMonitor
 from .ids import IdGenerator
 from .lineage import LineageGraph, UnrecoverableObjectError
 from .local import LocalActorHandle, LocalRuntime
 from .object_ref import ObjectRef, collect_refs, replace_refs
+from .overload import (
+    AdmissionRejectedError,
+    BreakerState,
+    CircuitBreaker,
+    RetryBudget,
+    backoff_jitter_fraction,
+    retry_backoff_delay,
+)
 from .object_store import (
     LocalObjectStore,
     ObjectStoreFullError,
@@ -27,6 +41,7 @@ from .runtime import (
     ActorHandle,
     GetTimeoutError,
     ServerlessRuntime,
+    TaskCancelledError,
     TaskError,
     TaskTimeline,
     make_reliable_cache,
@@ -39,7 +54,15 @@ __all__ = [
     "Generation",
     "ResolutionMode",
     "SchedulingPolicy",
+    "AdmissionPolicy",
     "RuntimeConfig",
+    "AdmissionRejectedError",
+    "RetryBudget",
+    "CircuitBreaker",
+    "BreakerState",
+    "backoff_jitter_fraction",
+    "retry_backoff_delay",
+    "TaskCancelledError",
     "IdGenerator",
     "LineageGraph",
     "UnrecoverableObjectError",

@@ -6,7 +6,13 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["Generation", "ResolutionMode", "SchedulingPolicy", "RuntimeConfig"]
+__all__ = [
+    "Generation",
+    "ResolutionMode",
+    "SchedulingPolicy",
+    "AdmissionPolicy",
+    "RuntimeConfig",
+]
 
 
 class Generation(enum.Enum):
@@ -29,6 +35,14 @@ class SchedulingPolicy(enum.Enum):
     LEAST_LOADED = "least_loaded"
 
 
+class AdmissionPolicy(enum.Enum):
+    """What a full scheduler-level admission queue does with a new task."""
+
+    REJECT = "reject"  # raise AdmissionRejectedError to the caller
+    SHED_LOWEST_PRIORITY = "shed_lowest_priority"  # evict a lower-priority pending task
+    QUEUE_WITH_DEADLINE = "queue_with_deadline"  # park in a bounded overflow queue
+
+
 @dataclass
 class RuntimeConfig:
     generation: Generation = Generation.GEN2
@@ -43,7 +57,14 @@ class RuntimeConfig:
     max_retries: int = 4
     retry_backoff_base: float = 1e-3  # seconds before the first retry
     retry_backoff_factor: float = 2.0
-    retry_jitter: float = 0.25  # +- fraction of the backoff, hashed from (task, attempt)
+    # jitter fraction of the backoff.  The per-attempt jitter is *hashed*,
+    # not drawn: ``frac = int(md5(f"{task_id}:{retries}")[:8], 16) / 0xFFFFFFFF``
+    # and ``delay = base * factor**(retries-1) * (1 + retry_jitter * frac)``
+    # (see ``overload.backoff_jitter_fraction``).  md5 is stable across
+    # processes, platforms and Python versions, so seeded chaos replays are
+    # bit-identical; tests/test_overload.py pins exact values of the
+    # sequence to keep refactors honest.
+    retry_jitter: float = 0.25
     # execution watchdog: interrupt + retry a task attempt that has not
     # finished this long after dispatch (None disables)
     task_timeout: Optional[float] = None
@@ -82,6 +103,37 @@ class RuntimeConfig:
     # locality placement prices per-link queueing + degradation into its
     # transfer-time estimates instead of assuming an idle fabric
     contention_aware_placement: bool = True
+    # -- overload control.  Four independent mechanisms, each behind its own
+    # switch; the all-off default reproduces pre-overload event traces
+    # bit-for-bit (no extra events, no extra virtual time).
+    # bounded admission: refuse work beyond ``admission_queue_depth`` open
+    # tasks instead of queueing without bound.  Policy decides how: reject
+    # (AdmissionRejectedError), shed the lowest-priority pending task, or
+    # park in a bounded overflow queue drained as tasks close.
+    admission_control: bool = False
+    admission_queue_depth: int = 64
+    admission_policy: AdmissionPolicy = AdmissionPolicy.REJECT
+    admission_overflow_depth: int = 64  # QUEUE_WITH_DEADLINE park capacity
+    # per-raylet admission window: max task attempts dispatched-but-not-
+    # concluded per raylet (None: no per-raylet bound)
+    raylet_admission_depth: Optional[int] = None
+    # retry budgets: a per-node token bucket (start/cap ``retry_budget_cap``)
+    # drained 1 token per retry, refilled ``retry_budget_ratio`` per
+    # first-attempt success — retries cannot exceed ~ratio x useful work.
+    retry_budget: bool = False
+    retry_budget_ratio: float = 0.2
+    retry_budget_cap: float = 16.0
+    # deadline propagation: submit(deadline=) flows min(own, producers')
+    # through the graph; attempts past their deadline are skipped and the
+    # task cancelled (cancellation cascades to downstream consumers).
+    deadline_propagation: bool = False
+    # circuit breakers: per-device CLOSED/OPEN/HALF_OPEN state machines over
+    # device-attributed transient failures + health signals; open devices
+    # shed load, half-open devices take one probe at a time.
+    device_circuit_breakers: bool = False
+    breaker_failure_threshold: int = 5
+    breaker_reset_after: float = 5e-3  # virtual seconds OPEN before probing
+    breaker_probe_successes: int = 2
     # accounting
     track_task_timeline: bool = True
 

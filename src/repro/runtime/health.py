@@ -231,6 +231,9 @@ class HeartbeatMonitor:
                 )
                 for raylet in newly_silent:
                     self.suspected_endpoints.add(raylet.endpoint)
+                    # overload control: suspicion feeds the per-device
+                    # circuit breakers (no-op when breakers are off)
+                    self.runtime._on_endpoint_suspected(raylet)
                 if all_silent and node_id not in self.suspected:
                     self.suspected.add(node_id)
                     self.runtime._record(

@@ -15,7 +15,6 @@ and performance shapes.
 from __future__ import annotations
 
 import copy
-import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Generator, List, Optional, Sequence, Tuple
 
@@ -30,13 +29,15 @@ from ..telemetry import Telemetry
 from ..telemetry.critical_path import CriticalPathResult
 from ..telemetry.critical_path import critical_path as extract_critical_path
 from ..telemetry.spans import Span
-from .config import Generation, ResolutionMode, RuntimeConfig
+from .config import AdmissionPolicy, Generation, ResolutionMode, RuntimeConfig
 from .events import EventLog, RuntimeEvent
 from .health import HeartbeatMonitor
 from .ids import IdGenerator
 from .lineage import LineageGraph, UnrecoverableObjectError
 from .object_ref import ObjectRef, replace_refs
 from .object_store import LocalObjectStore, SpillFailedError, StoreUnavailableError
+from .overload import AdmissionRejectedError, BreakerBoard, BreakerState, RetryBudget
+from .overload import retry_backoff_delay as _retry_backoff_delay
 from .ownership import OwnershipTable, ValueState
 from .raylet import Raylet
 from .scheduler import PlacementError, Scheduler
@@ -46,6 +47,7 @@ __all__ = [
     "ServerlessRuntime",
     "ActorHandle",
     "TaskError",
+    "TaskCancelledError",
     "GetTimeoutError",
     "TaskTimeline",
 ]
@@ -59,6 +61,10 @@ class TaskError(RuntimeError):
     """A task payload raised; surfaces at ``get``."""
 
 
+class TaskCancelledError(TaskError):
+    """The task (or an ancestor) was cancelled; surfaces at ``get``."""
+
+
 class GetTimeoutError(TimeoutError):
     """``get(timeout=...)`` expired with refs still unresolved."""
 
@@ -66,6 +72,11 @@ class GetTimeoutError(TimeoutError):
 class _TransientTaskError(Exception):
     """An attempt-level protocol failure (lost lease, failed fetch) that the
     retry policy — not the application — should absorb."""
+
+
+class _DeadlineExceededError(Exception):
+    """An attempt noticed its task's deadline already passed — the raylet
+    skips the doomed work and the task is cancelled, not retried."""
 
 
 @dataclass
@@ -97,7 +108,7 @@ class _TaskCtx:
     __slots__ = (
         "spec", "ref", "device", "raylet", "done", "state", "timeline",
         "error", "replays", "proc", "attempt", "retries", "twin", "is_clone",
-        "span",
+        "span", "pulls", "admitted", "admit_raylet",
     )
 
     def __init__(self, spec: TaskSpec, ref: ObjectRef, done: Signal):
@@ -116,6 +127,9 @@ class _TaskCtx:
         self.twin: Optional["_TaskCtx"] = None  # speculative copy, if any
         self.is_clone = False
         self.span: Optional[Span] = None  # causal task span (telemetry)
+        self.pulls: Tuple = ()  # this attempt's in-flight pull processes
+        self.admitted = False  # holds a scheduler-level admission slot
+        self.admit_raylet: Optional[Raylet] = None  # holds a raylet window slot
 
 
 class _ActorLock:
@@ -290,6 +304,30 @@ class ServerlessRuntime:
             "skadi_scheduler_waiting_tasks",
             "pull-mode tasks parked waiting for dependencies",
         )
+        # -- overload control (each mechanism builds only when switched on,
+        # so the all-off default adds zero state, events, or virtual time)
+        cfg = self.config
+        self.tasks_cancelled = 0
+        self.tasks_shed = 0
+        self._admitted_open = 0  # tasks holding a scheduler admission slot
+        self._admission_overflow: List[_TaskCtx] = []  # QUEUE_WITH_DEADLINE parking
+        self._admission_deferred: List[_TaskCtx] = []  # raylet-window deferrals
+        self._pumping_admission = False
+        self._retry_budget: Optional[RetryBudget] = (
+            RetryBudget(cfg.retry_budget_ratio, cfg.retry_budget_cap)
+            if cfg.retry_budget
+            else None
+        )
+        self._breakers: Optional[BreakerBoard] = None
+        self._device_inflight: Dict[str, int] = {}  # attempts per device (breakers)
+        if cfg.device_circuit_breakers:
+            self._breakers = BreakerBoard(
+                cfg.breaker_failure_threshold,
+                cfg.breaker_reset_after,
+                cfg.breaker_probe_successes,
+                on_transition=self._on_breaker_transition,
+            )
+            self.scheduler.breaker_filter = self._breaker_allows
         # observers poked whenever an object becomes ready (chaos uses this
         # for reactive fault injection: "kill the node when X materializes")
         self.object_ready_hooks: List[Callable[[str], None]] = []
@@ -527,6 +565,10 @@ class ServerlessRuntime:
                     raise TaskError(
                         f"task {ctx.spec.task_id} ({ctx.spec.name}) failed: {ctx.error}"
                     )
+                if ctx is not None and ctx.state == TaskState.CANCELLED:
+                    raise TaskCancelledError(
+                        f"task {ctx.spec.task_id} ({ctx.spec.name}) was {ctx.error}"
+                    )
                 if not self.ownership.contains(ref.object_id):
                     raise KeyError(f"unknown object {ref.object_id!r}")
                 entry = self.ownership.entry(ref.object_id)
@@ -541,6 +583,11 @@ class ServerlessRuntime:
                         )
                     failed = self._find_failed_upstream(ref.object_id, set())
                     if failed is not None:
+                        if failed.state == TaskState.CANCELLED:
+                            raise TaskCancelledError(
+                                f"task {failed.spec.task_id} ({failed.spec.name}) "
+                                f"upstream of {ref.object_id} was {failed.error}"
+                            )
                         raise TaskError(
                             f"task {failed.spec.task_id} ({failed.spec.name}) "
                             f"failed upstream of {ref.object_id}: {failed.error}"
@@ -602,7 +649,7 @@ class ServerlessRuntime:
         ctx = self._ctx_of_object.get(object_id)
         if ctx is None:
             return None
-        if ctx.state == TaskState.FAILED:
+        if ctx.state in (TaskState.FAILED, TaskState.CANCELLED):
             return ctx
         for dep in ctx.spec.dependencies:
             found = self._find_failed_upstream(dep.object_id, visited)
@@ -653,8 +700,16 @@ class ServerlessRuntime:
         pinned_device: Optional[str] = None,
         name: str = "",
         gang_group: Optional[str] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
     ) -> ObjectRef:
-        """Launch a task; returns the future for its (single) output."""
+        """Launch a task; returns the future for its (single) output.
+
+        ``deadline`` is an *absolute* virtual time; with deadline propagation
+        enabled it flows to downstream consumers (min over producers) and
+        attempts past it are skipped and cancelled.  ``priority`` only
+        matters under shed-lowest-priority admission.
+        """
         spec = TaskSpec(
             task_id=self.ids.task_id(),
             func=func,
@@ -666,10 +721,19 @@ class ServerlessRuntime:
             pinned_device=pinned_device,
             name=name,
             gang_group=gang_group,
+            deadline=deadline,
+            priority=priority,
         )
         return self._submit_spec(spec)
 
     def _submit_spec(self, spec: TaskSpec) -> ObjectRef:
+        if self.config.deadline_propagation:
+            self._inherit_deadline(spec)
+        queue_instead = False
+        if self.config.admission_control:
+            # may raise AdmissionRejectedError — before any ownership state
+            # exists, so a rejected submission is cleanly retryable
+            queue_instead = self._admission_gate(spec)
         oid = self.ids.object_id()
         self.ownership.create(oid, owner=DRIVER, task_id=spec.task_id)
         ref = ObjectRef(oid, owner=DRIVER, task_id=spec.task_id)
@@ -681,6 +745,17 @@ class ServerlessRuntime:
         self._ctxs[spec.task_id] = ctx
         self._ctx_of_object[oid] = ctx
         self._open_tasks += 1
+        if queue_instead:
+            self._admission_overflow.append(ctx)
+            self._record(
+                "admission_queued", task=spec.task_id, name=spec.name,
+                depth=len(self._admission_overflow),
+            )
+            self._meter_admission_depth()
+            return ref
+        if self.config.admission_control:
+            ctx.admitted = True
+            self._admitted_open += 1
         if spec.gang_group is not None:
             self._gangs.setdefault(spec.gang_group, []).append(ctx)
             return ref
@@ -700,6 +775,10 @@ class ServerlessRuntime:
 
     def _route(self, ctx: _TaskCtx, preplaced: bool = False) -> None:
         """Decide when to dispatch, per resolution mode."""
+        if self._deadline_expired(ctx.spec):
+            # scheduler-side skip: never dispatch work that is already doomed
+            self._cancel_and_propagate(ctx, reason="deadline_exceeded")
+            return
         if self.health is not None:
             self.health.ensure_running()
         if self.config.resolution == ResolutionMode.PUSH:
@@ -714,6 +793,305 @@ class ServerlessRuntime:
 
     def _deps_ready(self, spec: TaskSpec) -> bool:
         return all(self.ownership.is_ready(r.object_id) for r in spec.dependencies)
+
+    # -- overload control: admission ------------------------------------------
+
+    def _admission_gate(self, spec: TaskSpec) -> bool:
+        """Scheduler-level bounded admission.  Returns True when the task
+        should park in the overflow queue; raises
+        :class:`AdmissionRejectedError` when it cannot be admitted at all."""
+        cfg = self.config
+        if self._admitted_open < cfg.admission_queue_depth:
+            return False
+        policy = cfg.admission_policy
+        if policy is AdmissionPolicy.SHED_LOWEST_PRIORITY:
+            victim = self._lowest_priority_pending(below=spec.priority)
+            if victim is not None:
+                self._count_shed("displaced_by_priority")
+                self._cancel_and_propagate(victim, reason="displaced_by_priority")
+                return False
+        elif policy is AdmissionPolicy.QUEUE_WITH_DEADLINE and spec.gang_group is None:
+            # gangs cannot park member-by-member; they fall through to reject
+            if len(self._admission_overflow) < cfg.admission_overflow_depth:
+                return True
+        self._record(
+            "admission_rejected",
+            task=spec.task_id,
+            name=spec.name,
+            open_tasks=self._admitted_open,
+        )
+        self._count_shed("admission_reject")
+        self.telemetry.registry.counter(
+            "skadi_admission_rejected_total",
+            "submissions refused by the bounded admission queue",
+        ).inc()
+        raise AdmissionRejectedError(
+            f"admission queue full ({self._admitted_open}/{cfg.admission_queue_depth} "
+            f"open tasks); task {spec.task_id} rejected",
+            reason="admission_reject",
+        )
+
+    def _lowest_priority_pending(self, below: int) -> Optional["_TaskCtx"]:
+        """The cheapest admitted victim: a PENDING, non-gang task with
+        priority strictly below ``below`` (deterministic tie-break)."""
+        victim: Optional[_TaskCtx] = None
+        for ctx in self._ctxs.values():
+            if (
+                not ctx.admitted
+                or ctx.state is not TaskState.PENDING
+                or ctx.spec.gang_group is not None
+                or ctx.spec.priority >= below
+            ):
+                continue
+            if victim is None or (ctx.spec.priority, ctx.spec.task_id) < (
+                victim.spec.priority,
+                victim.spec.task_id,
+            ):
+                victim = ctx
+        return victim
+
+    def _task_closed(self, ctx: "_TaskCtx") -> None:
+        """Admission bookkeeping when a task reaches a terminal state:
+        release its scheduler slot and pump the overflow queue."""
+        if not self.config.admission_control:
+            return
+        if ctx.admitted:
+            ctx.admitted = False
+            self._admitted_open = max(0, self._admitted_open - 1)
+        if not self._pumping_admission:
+            self._pumping_admission = True
+            try:
+                self._pump_admission_overflow()
+            finally:
+                self._pumping_admission = False
+        self._meter_admission_depth()
+
+    def _pump_admission_overflow(self) -> None:
+        while (
+            self._admission_overflow
+            and self._admitted_open < self.config.admission_queue_depth
+        ):
+            ctx = self._admission_overflow.pop(0)
+            if ctx.state is not TaskState.PENDING:
+                continue
+            if ctx.spec.deadline is not None and self.sim.now >= ctx.spec.deadline:
+                # parked past its deadline: shed instead of launching
+                self._count_shed("queue_deadline")
+                self._cancel_and_propagate(ctx, reason="queue_deadline")
+                continue
+            ctx.admitted = True
+            self._admitted_open += 1
+            try:
+                self._route(ctx)
+            except PlacementError as exc:
+                self._retry_or_fail(ctx, cause=str(exc))
+
+    def _meter_admission_depth(self) -> None:
+        self.telemetry.registry.gauge(
+            "skadi_admission_queue_depth",
+            "task attempts admitted and not yet concluded, per scope",
+            scope="scheduler",
+        ).set(float(len(self._admission_overflow) + len(self._admission_deferred)))
+
+    def _count_shed(self, reason: str) -> None:
+        self.tasks_shed += 1
+        self.telemetry.registry.counter(
+            "skadi_shed_tasks_total",
+            "tasks shed by overload control, by reason",
+            reason=reason,
+        ).inc()
+
+    def _raylet_with_capacity(
+        self, ctx: "_TaskCtx", depth: int
+    ) -> Optional[Tuple[Device, Raylet]]:
+        """The least-loaded live candidate whose raylet has window headroom."""
+        best: Optional[Tuple[Device, Raylet]] = None
+        try:
+            candidates = self.scheduler.candidates(ctx.spec)
+        except PlacementError:
+            return None
+        for device in candidates:
+            if not self._device_alive(device.device_id):
+                continue
+            raylet = self._raylet_of_device.get(device.device_id)
+            if raylet is None or not raylet.has_admission_capacity(depth):
+                continue
+            if best is None or (
+                raylet.admission_inflight,
+                device.device_id,
+            ) < (best[1].admission_inflight, best[0].device_id):
+                best = (device, raylet)
+        return best
+
+    def _pump_deferred(self) -> None:
+        """Re-dispatch raylet-window deferrals; anything still over the
+        window re-defers itself inside ``_dispatch``."""
+        if not self._admission_deferred:
+            return
+        pending, self._admission_deferred = self._admission_deferred, []
+        for ctx in pending:
+            if ctx.state is not TaskState.PENDING:
+                continue
+            if self._deadline_expired(ctx.spec):
+                self._cancel_and_propagate(ctx, reason="deadline_exceeded")
+                continue
+            try:
+                self._dispatch(ctx)
+            except PlacementError as exc:
+                self._retry_or_fail(ctx, cause=str(exc))
+        self._meter_admission_depth()
+
+    def _attempt_concluded(self, ctx: "_TaskCtx", device: Optional[Device]) -> None:
+        """Per-attempt bookkeeping at the end of ``_run_task``: release the
+        raylet admission window slot and the breaker inflight count."""
+        if self._breakers is not None and device is not None and not ctx.is_clone:
+            n = self._device_inflight.get(device.device_id, 0)
+            if n:
+                self._device_inflight[device.device_id] = n - 1
+        raylet = ctx.admit_raylet
+        if raylet is not None:
+            ctx.admit_raylet = None
+            raylet.conclude_attempt()
+            self._pump_deferred()
+
+    # -- overload control: deadlines ------------------------------------------
+
+    def _inherit_deadline(self, spec: TaskSpec) -> None:
+        """Effective deadline = min(own, every producer's) — a consumer can
+        never outlive the data it waits for."""
+        deadline = spec.deadline
+        for dep in spec.dependencies:
+            producer = self._ctx_of_object.get(dep.object_id)
+            if producer is None:
+                continue
+            upstream = producer.spec.deadline
+            if upstream is not None and (deadline is None or upstream < deadline):
+                deadline = upstream
+        spec.deadline = deadline
+
+    def _deadline_expired(self, spec: TaskSpec) -> bool:
+        return (
+            self.config.deadline_propagation
+            and spec.deadline is not None
+            and self.sim.now >= spec.deadline
+        )
+
+    # -- overload control: cancellation ---------------------------------------
+
+    def cancel(self, ref: ObjectRef, reason: str = "user") -> bool:
+        """Cooperatively cancel the task producing ``ref`` (and every
+        downstream consumer that can no longer run).  Returns False when the
+        task already reached a terminal state.  A timed-out ``get`` leaves
+        its task running — this is how a caller abandons it for real."""
+        ctx = self._ctx_of_object.get(ref.object_id)
+        if ctx is None:
+            return False
+        return self._cancel_and_propagate(ctx, reason=reason)
+
+    def _cancel_and_propagate(self, ctx: "_TaskCtx", reason: str) -> bool:
+        if not self._cancel_ctx(ctx, reason=reason):
+            return False
+        self._cancel_downstream(ctx)
+        return True
+
+    def _cancel_ctx(self, ctx: "_TaskCtx", reason: str) -> bool:
+        """Move one task to CANCELLED: stop its attempt, its in-flight pulls
+        (releasing any fetch-dedup followers via the leader's ``end_fetch``),
+        and its speculative twin.  Every cancellation source funnels here, so
+        every one lands in the event log with its ``reason``."""
+        if ctx.state in (TaskState.FINISHED, TaskState.FAILED, TaskState.CANCELLED):
+            return False
+        ctx.state = TaskState.CANCELLED
+        ctx.error = f"cancelled: {reason}"
+        self.tasks_cancelled += 1
+        self.telemetry.registry.counter(
+            "skadi_tasks_cancelled_total",
+            "tasks cancelled before completion, by reason",
+            reason=reason,
+        ).inc()
+        self._close_failed_span(ctx, ctx.error)
+        self._record(
+            "task_cancelled", task=ctx.spec.task_id, name=ctx.spec.name, reason=reason
+        )
+        self._open_tasks = max(0, self._open_tasks - 1)
+        for pull in ctx.pulls:
+            if pull is not None and not pull.triggered:
+                pull.interrupt(f"cancelled: {reason}")
+        ctx.pulls = ()
+        twin, ctx.twin = ctx.twin, None
+        if twin is not None and twin.proc is not None and not twin.proc.triggered:
+            twin.proc.interrupt(f"cancelled: {reason}")
+        if ctx.proc is not None and not ctx.proc.triggered:
+            ctx.proc.interrupt(f"cancelled: {reason}")
+        self._task_closed(ctx)
+        if not ctx.done.triggered:
+            ctx.done.succeed()
+        return True
+
+    def _cancel_downstream(self, root: "_TaskCtx") -> None:
+        """Cascade a cancellation to transitive consumers that have not run
+        yet — their inputs will never materialize."""
+        frontier = {root.ref.object_id}
+        seen = set(frontier)
+        while frontier:
+            cancelled_oids, frontier = frontier, set()
+            for ctx in list(self._ctxs.values()):
+                if ctx.state not in (
+                    TaskState.PENDING,
+                    TaskState.SCHEDULED,
+                    TaskState.RESOLVING,
+                ):
+                    continue
+                if any(
+                    dep.object_id in cancelled_oids for dep in ctx.spec.dependencies
+                ):
+                    if self._cancel_ctx(ctx, reason="upstream_cancelled"):
+                        if ctx.ref.object_id not in seen:
+                            seen.add(ctx.ref.object_id)
+                            frontier.add(ctx.ref.object_id)
+
+    # -- overload control: circuit breakers -----------------------------------
+
+    def _breaker_allows(self, device_id: str) -> bool:
+        if self._breakers is None:
+            return True
+        return self._breakers.allow(
+            device_id, self.sim.now, self._device_inflight.get(device_id, 0)
+        )
+
+    def _on_breaker_transition(
+        self, device_id: str, old: BreakerState, new: BreakerState
+    ) -> None:
+        kind = {
+            BreakerState.OPEN: "breaker_open",
+            BreakerState.HALF_OPEN: "breaker_half_open",
+            BreakerState.CLOSED: "breaker_closed",
+        }[new]
+        self._record(kind, device=device_id, previous=old.value)
+        reg = self.telemetry.registry
+        reg.counter(
+            "skadi_breaker_transitions_total",
+            "circuit-breaker state changes, by device and new state",
+            device=device_id,
+            state=new.value,
+        ).inc()
+        reg.gauge(
+            "skadi_breaker_state",
+            "per-device breaker state: 0 closed, 1 half-open, 2 open",
+            device=device_id,
+        ).set(
+            {BreakerState.CLOSED: 0.0, BreakerState.HALF_OPEN: 1.0,
+             BreakerState.OPEN: 2.0}[new]
+        )
+
+    def _on_endpoint_suspected(self, raylet: Raylet) -> None:
+        """Heartbeat suspicion feeds the breakers: a silent raylet's devices
+        accumulate failures so placement stops preferring them even before
+        the miss threshold declares them dead."""
+        if self._breakers is None:
+            return
+        for dev in raylet.devices:
+            self._breakers.record_failure(dev.device_id, self.sim.now)
 
     # -- span tracing --------------------------------------------------------
 
@@ -808,6 +1186,25 @@ class ServerlessRuntime:
                     )
                 ctx.device = live[0]
         ctx.raylet = self.raylet_for_device(ctx.device.device_id)
+        depth = self.config.raylet_admission_depth
+        if depth is not None and not ctx.is_clone and not preplaced:
+            if not ctx.raylet.has_admission_capacity(depth):
+                # steer to a candidate raylet with window headroom, else park
+                # until some attempt on any raylet concludes
+                alt = self._raylet_with_capacity(ctx, depth)
+                if alt is None:
+                    ctx.device = None
+                    ctx.raylet = None
+                    ctx.state = TaskState.PENDING
+                    self._admission_deferred.append(ctx)
+                    self._meter_admission_depth()
+                    return
+                ctx.device, ctx.raylet = alt
+            ctx.admit_raylet = ctx.raylet
+            ctx.raylet.admit_attempt()
+        if self._breakers is not None and not ctx.is_clone:
+            dev_id = ctx.device.device_id
+            self._device_inflight[dev_id] = self._device_inflight.get(dev_id, 0) + 1
         ctx.state = TaskState.SCHEDULED
         ctx.attempt += 1
         if self.config.resolution == ResolutionMode.PUSH:
@@ -1125,6 +1522,16 @@ class ServerlessRuntime:
     # -- the task lifecycle -------------------------------------------------------------
 
     def _run_task(self, ctx: _TaskCtx) -> Generator:
+        device = ctx.device
+        try:
+            yield from self._run_task_inner(ctx)
+        finally:
+            # release the raylet admission window slot / breaker inflight
+            # count however the attempt ended (all no-ops when overload
+            # control is off)
+            self._attempt_concluded(ctx, device)
+
+    def _run_task_inner(self, ctx: _TaskCtx) -> Generator:
         spec, device, raylet = ctx.spec, ctx.device, ctx.raylet
         assert device is not None and raylet is not None
         acquired_actor = False
@@ -1143,6 +1550,9 @@ class ServerlessRuntime:
                 # the raylet can see its own silicon (local knowledge, no
                 # network): it refuses to launch onto a dead companion
                 raise _TransientTaskError(f"device {device.device_id} is dead")
+            if self._deadline_expired(spec):
+                # raylet-side skip: the lease arrived past the deadline
+                raise _DeadlineExceededError()
             ctx.timeline.dispatched = self.sim.now
             ctx.state = TaskState.RESOLVING
 
@@ -1171,14 +1581,20 @@ class ServerlessRuntime:
                 ).inc(len(missing))
             if self.config.resolution == ResolutionMode.PULL:
                 if missing:
-                    yield self.sim.all_of(
-                        [
-                            self.sim.process(
-                                self._pull(ref, ctx), name=f"pull:{ref.object_id}"
-                            )
-                            for ref in missing
-                        ]
-                    )
+                    pulls = [
+                        self.sim.process(
+                            self._pull(ref, ctx), name=f"pull:{ref.object_id}"
+                        )
+                        for ref in missing
+                    ]
+                    # recorded so cancellation can interrupt the fetches —
+                    # a cancelled leader's ``end_fetch`` (in ``_pull_inner``'s
+                    # finally) releases any dedup followers riding it
+                    ctx.pulls = tuple(pulls)
+                    try:
+                        yield self.sim.all_of(pulls)
+                    finally:
+                        ctx.pulls = ()
                     still_missing = [
                         ref
                         for ref in missing
@@ -1196,6 +1612,9 @@ class ServerlessRuntime:
                 pending = [s for s in sigs if not s.triggered]
                 if pending:
                     yield self.sim.all_of(pending)
+            if self._deadline_expired(spec):
+                # inputs took too long: skip the doomed execution
+                raise _DeadlineExceededError()
             ctx.timeline.inputs_ready = self.sim.now
 
             # Gen-1: the DPU raylet must poke the companion device
@@ -1236,7 +1655,8 @@ class ServerlessRuntime:
             # result while we ran; first commit wins, the rest stand down
             main = self._ctxs.get(spec.task_id, ctx)
             if (
-                main.state in (TaskState.FINISHED, TaskState.FAILED)
+                main.state
+                in (TaskState.FINISHED, TaskState.FAILED, TaskState.CANCELLED)
                 or self.ownership.is_ready(ctx.ref.object_id)
             ):
                 return
@@ -1286,6 +1706,18 @@ class ServerlessRuntime:
             self._m_stall.observe(ctx.timeline.input_stall)
             self._finish_task_span(main, ctx)
             self._open_tasks = max(0, self._open_tasks - 1)
+            self._task_closed(main)
+            if self._retry_budget is not None and main.retries == 0:
+                # only *first-attempt* successes refill the budget, so retry
+                # volume stays capped at ratio x useful first-attempt volume
+                self._retry_budget.refill(device.node_id)
+                self.telemetry.registry.gauge(
+                    "skadi_retry_budget_tokens",
+                    "remaining retry-budget tokens per node",
+                    node=device.node_id,
+                ).set(self._retry_budget.tokens(device.node_id))
+            if self._breakers is not None:
+                self._breakers.record_success(device.device_id, self.sim.now)
             if self.config.track_task_timeline:
                 self.timelines.append(ctx.timeline)
 
@@ -1293,6 +1725,8 @@ class ServerlessRuntime:
             # consumers coalesces into one multicast distribution)
             if self.config.resolution == ResolutionMode.PUSH:
                 for sub in self._subs.pop(ctx.ref.object_id, []):
+                    if sub.state is TaskState.CANCELLED:
+                        continue
                     self._queue_push(ctx.ref.object_id, sub)
             self._on_object_ready(ctx.ref.object_id)
             if not main.done.triggered:
@@ -1302,17 +1736,30 @@ class ServerlessRuntime:
                 return  # backup copy: the original (or the winner) carries on
             main = self._ctxs.get(spec.task_id, ctx)
             if (
-                main.state in (TaskState.FINISHED, TaskState.FAILED)
+                main.state
+                in (TaskState.FINISHED, TaskState.FAILED, TaskState.CANCELLED)
                 or self.ownership.is_ready(ctx.ref.object_id)
             ):
                 return  # interrupted after the result already committed
             self._retry_or_fail(ctx, cause=str(intr.cause or "interrupted"))
+        except _DeadlineExceededError:
+            if ctx.is_clone:
+                return
+            main = self._ctxs.get(spec.task_id, ctx)
+            if (
+                main.state
+                in (TaskState.FINISHED, TaskState.FAILED, TaskState.CANCELLED)
+                or self.ownership.is_ready(ctx.ref.object_id)
+            ):
+                return
+            self._cancel_and_propagate(main, reason="deadline_exceeded")
         except _TransientTaskError as exc:
             if ctx.is_clone:
                 return
             main = self._ctxs.get(spec.task_id, ctx)
             if (
-                main.state in (TaskState.FINISHED, TaskState.FAILED)
+                main.state
+                in (TaskState.FINISHED, TaskState.FAILED, TaskState.CANCELLED)
                 or self.ownership.is_ready(ctx.ref.object_id)
             ):
                 return
@@ -1328,15 +1775,17 @@ class ServerlessRuntime:
 
     def _backoff_delay(self, ctx: _TaskCtx) -> float:
         """Exponential backoff with deterministic jitter (hashed, not drawn
-        from a shared RNG, so retry timing never depends on event order)."""
-        base = self.config.retry_backoff_base * (
-            self.config.retry_backoff_factor ** max(0, ctx.retries - 1)
-        )
-        digest = hashlib.md5(f"{ctx.spec.task_id}:{ctx.retries}".encode()).hexdigest()
-        frac = int(digest[:8], 16) / 0xFFFFFFFF
-        return base * (1.0 + self.config.retry_jitter * frac)
+        from a shared RNG, so retry timing never depends on event order).
+        The hash contract is pinned in ``overload.backoff_jitter_fraction``
+        and documented in ``config.py``."""
+        return _retry_backoff_delay(self.config, ctx.spec.task_id, ctx.retries)
 
     def _retry_or_fail(self, ctx: _TaskCtx, cause: str) -> None:
+        # the failing attempt's device feeds the breakers and keys the
+        # retry budget — capture it before the attempt state is cleared
+        failed_device = ctx.device
+        if self._breakers is not None and failed_device is not None:
+            self._breakers.record_failure(failed_device.device_id, self.sim.now)
         ctx.retries += 1
         ctx.device = None
         ctx.raylet = None
@@ -1347,6 +1796,31 @@ class ServerlessRuntime:
                 ctx, f"gave up after {self.config.max_retries} retries: {cause}"
             )
             return
+        if self._retry_budget is not None:
+            node = failed_device.node_id if failed_device is not None else "<cluster>"
+            if not self._retry_budget.try_consume(node):
+                # budget dry: shedding the retry breaks the storm's feedback
+                # loop (each retry would amplify the very overload that
+                # failed the first attempt)
+                self.telemetry.registry.counter(
+                    "skadi_retry_budget_exhausted_total",
+                    "retries refused because the node's budget ran dry",
+                    node=node,
+                ).inc()
+                self._record(
+                    "retry_budget_exhausted",
+                    task=ctx.spec.task_id,
+                    node=node,
+                    cause=cause,
+                )
+                self._count_shed("retry_budget_exhausted")
+                self._cancel_and_propagate(ctx, reason="retry_budget_exhausted")
+                return
+            self.telemetry.registry.gauge(
+                "skadi_retry_budget_tokens",
+                "remaining retry-budget tokens per node",
+                node=node,
+            ).set(self._retry_budget.tokens(node))
         self.tasks_retried += 1
         self._m_retried.inc()
         delay = self._backoff_delay(ctx)
@@ -1395,6 +1869,7 @@ class ServerlessRuntime:
         self._record(
             "task_failed", task=ctx.spec.task_id, name=ctx.spec.name, error=error
         )
+        self._task_closed(ctx)
         if not ctx.done.triggered:
             ctx.done.succeed()
 
@@ -1889,6 +2364,8 @@ class ServerlessRuntime:
         if device is None:
             return []
         self._dead_devices.add(device_id)
+        if self._breakers is not None:
+            self._breakers.breaker(device_id).force_open(self.sim.now)
         self.scheduler.blacklist(device_id)
         self.ownership.drop_device(device_id)
         node_id = device.node_id
@@ -1926,6 +2403,9 @@ class ServerlessRuntime:
         if device_id not in self._dead_devices:
             return
         self._dead_devices.discard(device_id)
+        if self._breakers is not None:
+            # the device earned its way back: probe before trusting it
+            self._breakers.breaker(device_id).on_recovered()
         self.scheduler.unblacklist(device_id)
         self._record("device_alive", device=device_id)
 
@@ -2090,7 +2570,7 @@ class ServerlessRuntime:
         lost_set = set(lost)
         needed = set()
         for ctx in self._ctxs.values():
-            if ctx.state in (TaskState.FINISHED, TaskState.FAILED):
+            if ctx.state in (TaskState.FINISHED, TaskState.FAILED, TaskState.CANCELLED):
                 continue
             for dep in ctx.spec.dependencies:
                 if dep.object_id in lost_set:

@@ -30,6 +30,7 @@ class TaskState(enum.Enum):
     RUNNING = "running"  # occupying a device slot
     FINISHED = "finished"
     FAILED = "failed"
+    CANCELLED = "cancelled"  # deadline passed, shed under overload, or upstream cancelled
 
 
 @dataclass
@@ -47,6 +48,9 @@ class TaskSpec:
     supported_kinds: FrozenSet[DeviceKind] = frozenset({DeviceKind.CPU})
     pinned_device: Optional[str] = None  # explicit device id, overrides policy
     gang_group: Optional[str] = None  # SPMD gang id (gang scheduling)
+    # overload control --------------------------------------------------------
+    deadline: Optional[float] = None  # absolute sim time; propagates to consumers
+    priority: int = 0  # higher survives shed-lowest-priority admission
     # bookkeeping --------------------------------------------------------------
     name: str = ""
     actor_id: Optional[str] = None  # set for actor method calls

@@ -141,6 +141,24 @@ class TestPrometheusRoundTrip:
             4096
         )
         registry.gauge("skadi_depth", "queue depth", device="gpu0").set(3)
+        # the overload-control surface: per-scope admission depth gauges and
+        # the shed counter, labeled by reason
+        registry.gauge(
+            "skadi_admission_queue_depth", "admitted, unconcluded attempts",
+            scope="scheduler",
+        ).set(5)
+        registry.gauge(
+            "skadi_admission_queue_depth", "admitted, unconcluded attempts",
+            scope="raylet:server0",
+        ).set(2)
+        registry.counter(
+            "skadi_shed_tasks_total", "tasks shed by overload control",
+            reason="admission_reject",
+        ).inc(7)
+        registry.counter(
+            "skadi_shed_tasks_total", "tasks shed by overload control",
+            reason="retry_budget_exhausted",
+        ).inc(3)
         h = registry.histogram("skadi_latency_seconds", "task latency")
         for v in (0.1, 0.2, 0.3, 0.4):
             h.observe(v)
@@ -163,6 +181,15 @@ class TestPrometheusRoundTrip:
         assert parsed.value("skadi_tasks_total") == 12
         assert parsed.value("skadi_link_bytes_total", link="a<->b") == 4096
         assert parsed.value("skadi_depth", device="gpu0") == 3
+        assert parsed.value("skadi_admission_queue_depth", scope="scheduler") == 5
+        assert parsed.value("skadi_admission_queue_depth", scope="raylet:server0") == 2
+        assert (
+            parsed.value("skadi_shed_tasks_total", reason="admission_reject") == 7
+        )
+        assert (
+            parsed.value("skadi_shed_tasks_total", reason="retry_budget_exhausted")
+            == 3
+        )
         assert parsed.value("skadi_latency_seconds_count") == 4
         assert parsed.value("skadi_latency_seconds_sum") == pytest.approx(1.0)
         assert parsed.value("skadi_latency_seconds", quantile="0.5") == 0.2
