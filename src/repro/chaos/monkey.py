@@ -15,12 +15,11 @@ seeded runs can be compared signature-for-signature.
 
 from __future__ import annotations
 
-import random as _random
-
 from typing import Callable, List, Optional, Set, TYPE_CHECKING
 
 from ..cluster.hardware import DeviceKind
 from ..runtime.overload import AdmissionRejectedError
+from ..serving.arrivals import uniform_offsets
 from .events import (
     BladeFailure,
     ChaosSchedule,
@@ -211,19 +210,17 @@ class ChaosMonkey:
     def _burst(self, fault: LoadBurst) -> None:
         """Open-loop load: the offered rate is fixed by the schedule, not by
         how fast the runtime absorbs it.  Submissions are spread evenly over
-        the window (plus optional seeded jitter), so two runs of the same
-        seed offer a bit-identical arrival pattern."""
+        the window (plus optional seeded jitter) by the shared arrival
+        helper, so two runs of the same seed offer a bit-identical arrival
+        pattern (``uniform_offsets`` pins the legacy float sequence)."""
         rt = self.runtime
         rt._record(
             "chaos_load_burst", n_tasks=fault.n_tasks, duration=fault.duration
         )
-        gap = fault.duration / fault.n_tasks if fault.n_tasks else 0.0
-        rng = _random.Random(fault.seed) if fault.jitter > 0.0 else None
-        for i in range(fault.n_tasks):
-            delay = i * gap
-            if rng is not None:
-                delay += gap * fault.jitter * (2.0 * rng.random() - 1.0)
-                delay = max(0.0, delay)
+        offsets = uniform_offsets(
+            fault.n_tasks, fault.duration, fault.seed, fault.jitter
+        )
+        for i, delay in enumerate(offsets):
             self.sim.schedule(delay, self._submit_load, i)
 
     def _submit_load(self, i: int) -> None:

@@ -134,6 +134,29 @@ class RuntimeConfig:
     breaker_failure_threshold: int = 5
     breaker_reset_after: float = 5e-3  # virtual seconds OPEN before probing
     breaker_probe_successes: int = 2
+    # -- serving frontend (repro.serving).  These gate how a
+    # ServingFrontend attached to this runtime behaves; none of them touch
+    # the single-driver path, so the all-off defaults (and any setting,
+    # absent a frontend) leave legacy traces bit-for-bit identical.
+    # weighted fair queueing: drain the frontend's waiting room by
+    # per-tenant virtual finish time (throughput proportional to tenant
+    # weight) instead of strict FIFO.
+    serving_fair_queueing: bool = False
+    # per-tenant quotas: shed a tenant's requests beyond its profile's
+    # max_open open requests.
+    serving_tenant_isolation: bool = False
+    # SLO deadlines: stamp submit(deadline=arrival+slo, priority=) from the
+    # tenant profile onto every request stage.
+    serving_slo_deadlines: bool = False
+    # pacing: at most this many requests in flight in the runtime (None:
+    # unbounded — every request dispatches the instant it arrives); excess
+    # waits in a bounded room of serving_queue_depth, shed beyond.
+    serving_max_inflight: Optional[int] = None
+    serving_queue_depth: int = 256
+    # head-node balancer: rebalance a session off a head running hotter
+    # than the coldest by this factor for this many consecutive checks.
+    serving_rebalance_threshold: float = 2.0
+    serving_rebalance_patience: int = 3
     # accounting
     track_task_timeline: bool = True
 

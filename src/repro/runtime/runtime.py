@@ -702,13 +702,16 @@ class ServerlessRuntime:
         gang_group: Optional[str] = None,
         deadline: Optional[float] = None,
         priority: int = 0,
+        tenant: Optional[str] = None,
     ) -> ObjectRef:
         """Launch a task; returns the future for its (single) output.
 
         ``deadline`` is an *absolute* virtual time; with deadline propagation
         enabled it flows to downstream consumers (min over producers) and
         attempts past it are skipped and cancelled.  ``priority`` only
-        matters under shed-lowest-priority admission.
+        matters under shed-lowest-priority admission.  ``tenant`` attributes
+        the task to a serving tenant: cancellation and admission-rejection
+        events/metrics carry it as a label (and nothing else changes).
         """
         spec = TaskSpec(
             task_id=self.ids.task_id(),
@@ -723,6 +726,7 @@ class ServerlessRuntime:
             gang_group=gang_group,
             deadline=deadline,
             priority=priority,
+            tenant=tenant,
         )
         return self._submit_spec(spec)
 
@@ -814,16 +818,21 @@ class ServerlessRuntime:
             # gangs cannot park member-by-member; they fall through to reject
             if len(self._admission_overflow) < cfg.admission_overflow_depth:
                 return True
+        # the tenant label rides along only when the submitter has one, so
+        # tenant-less (single-driver) traces keep their exact legacy detail
+        tenant_label = {} if spec.tenant is None else {"tenant": spec.tenant}
         self._record(
             "admission_rejected",
             task=spec.task_id,
             name=spec.name,
             open_tasks=self._admitted_open,
+            **tenant_label,
         )
         self._count_shed("admission_reject")
         self.telemetry.registry.counter(
             "skadi_admission_rejected_total",
             "submissions refused by the bounded admission queue",
+            **tenant_label,
         ).inc()
         raise AdmissionRejectedError(
             f"admission queue full ({self._admitted_open}/{cfg.admission_queue_depth} "
@@ -988,6 +997,25 @@ class ServerlessRuntime:
             return False
         return self._cancel_and_propagate(ctx, reason=reason)
 
+    def task_state(self, ref: ObjectRef) -> TaskState:
+        """The producing task's current state (serving layers poll this to
+        classify a concluded request without touching internals)."""
+        ctx = self._ctx_of_object.get(ref.object_id)
+        if ctx is None:
+            raise KeyError(f"no task produces object {ref.object_id!r}")
+        return ctx.state
+
+    def when_done(self, ref: ObjectRef, callback: Callable[[ObjectRef], None]) -> None:
+        """Invoke ``callback(ref)`` when the producing task reaches *any*
+        terminal state (FINISHED, FAILED or CANCELLED).  Fires on the event
+        loop if the task is already terminal.  This is the completion hook
+        the serving frontend builds request lifecycles on; it adds no
+        events and no virtual time of its own."""
+        ctx = self._ctx_of_object.get(ref.object_id)
+        if ctx is None:
+            raise KeyError(f"no task produces object {ref.object_id!r}")
+        ctx.done.add_callback(lambda _sig: callback(ref))
+
     def _cancel_and_propagate(self, ctx: "_TaskCtx", reason: str) -> bool:
         if not self._cancel_ctx(ctx, reason=reason):
             return False
@@ -1004,14 +1032,22 @@ class ServerlessRuntime:
         ctx.state = TaskState.CANCELLED
         ctx.error = f"cancelled: {reason}"
         self.tasks_cancelled += 1
+        # tenant attribution only when the submitter carried one — the
+        # label-less legacy series and event detail stay byte-identical
+        tenant_label = {} if ctx.spec.tenant is None else {"tenant": ctx.spec.tenant}
         self.telemetry.registry.counter(
             "skadi_tasks_cancelled_total",
             "tasks cancelled before completion, by reason",
             reason=reason,
+            **tenant_label,
         ).inc()
         self._close_failed_span(ctx, ctx.error)
         self._record(
-            "task_cancelled", task=ctx.spec.task_id, name=ctx.spec.name, reason=reason
+            "task_cancelled",
+            task=ctx.spec.task_id,
+            name=ctx.spec.name,
+            reason=reason,
+            **tenant_label,
         )
         self._open_tasks = max(0, self._open_tasks - 1)
         for pull in ctx.pulls:

@@ -51,6 +51,8 @@ class TaskSpec:
     # overload control --------------------------------------------------------
     deadline: Optional[float] = None  # absolute sim time; propagates to consumers
     priority: int = 0  # higher survives shed-lowest-priority admission
+    # multi-tenant serving -----------------------------------------------------
+    tenant: Optional[str] = None  # submitting tenant id (serving attribution)
     # bookkeeping --------------------------------------------------------------
     name: str = ""
     actor_id: Optional[str] = None  # set for actor method calls

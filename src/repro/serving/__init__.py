@@ -1,0 +1,39 @@
+"""Multi-tenant serving layer over the distributed runtime.
+
+Turns the single-driver task API into a service: seeded open-loop workload
+synthesis for 10k–1M tenants (:mod:`.workload`, :mod:`.arrivals`), tenant
+identity/quotas/namespaces (:mod:`.tenants`), an SLO-aware weighted-fair
+frontend feeding the runtime's admission machinery (:mod:`.frontend`), and
+a head-node load balancer with per-head message-rate tracking, skew
+rebalancing and crash failover (:mod:`.balancer`).
+"""
+
+from .arrivals import poisson_offsets, uniform_offsets
+from .balancer import HeadNodeBalancer, MessageRateTracker
+from .frontend import PendingRequest, ServingFrontend
+from .tenants import DEFAULT_PROFILES, Tenant, TenantProfile, TenantRegistry
+from .workload import (
+    DEFAULT_TEMPLATES,
+    Request,
+    RequestTemplate,
+    WorkloadGenerator,
+    default_templates,
+)
+
+__all__ = [
+    "poisson_offsets",
+    "uniform_offsets",
+    "HeadNodeBalancer",
+    "MessageRateTracker",
+    "PendingRequest",
+    "ServingFrontend",
+    "DEFAULT_PROFILES",
+    "Tenant",
+    "TenantProfile",
+    "TenantRegistry",
+    "DEFAULT_TEMPLATES",
+    "Request",
+    "RequestTemplate",
+    "WorkloadGenerator",
+    "default_templates",
+]

@@ -1,0 +1,77 @@
+"""Seeded open-loop arrival processes.
+
+One shared helper for every open-loop workload in the repo: the chaos
+engine's :class:`~repro.chaos.events.LoadBurst` (evenly spaced arrivals
+with optional seeded jitter) and the serving frontend's Poisson ingestion
+both draw their offsets here.  "Open-loop" means the offered rate is fixed
+by the schedule, not by how fast the runtime absorbs it — the defining
+property of the metastable-overload experiments.
+
+Determinism contract: for a given seed the returned offsets are
+bit-identical across runs, platforms and Python versions.
+``uniform_offsets`` reproduces the exact float sequence of the original
+``ChaosMonkey._burst`` loop (same RNG construction, same draw order, same
+arithmetic), so legacy chaos seeds keep their event-log signatures;
+tests/test_serving.py pins this with a regression test.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+__all__ = ["uniform_offsets", "poisson_offsets"]
+
+
+def uniform_offsets(
+    n_tasks: int, duration: float, seed: int = 0, jitter: float = 0.0
+) -> List[float]:
+    """Evenly spaced arrival offsets over ``[0, duration)``.
+
+    With ``jitter > 0`` each arrival is displaced by up to
+    ``gap * jitter`` in either direction, drawn from ``random.Random(seed)``
+    (clamped at 0 so nothing arrives before the window opens).  The RNG is
+    only constructed when jitter is in play — constructing it
+    unconditionally would not change the output, but keeping the legacy
+    shape makes the bit-compatibility argument a non-argument.
+    """
+    gap = duration / n_tasks if n_tasks else 0.0
+    rng = random.Random(seed) if jitter > 0.0 else None
+    offsets: List[float] = []
+    for i in range(n_tasks):
+        delay = i * gap
+        if rng is not None:
+            delay += gap * jitter * (2.0 * rng.random() - 1.0)
+            delay = max(0.0, delay)
+        offsets.append(delay)
+    return offsets
+
+
+def poisson_offsets(
+    rate: float,
+    duration: Optional[float] = None,
+    n: Optional[int] = None,
+    seed: int = 0,
+) -> List[float]:
+    """A seeded Poisson arrival process at ``rate`` arrivals per second.
+
+    Inter-arrival gaps are exponential (``random.Random(seed).expovariate``);
+    offsets are relative to the window start.  Bound the process by
+    ``duration`` (every offset < duration), by ``n`` (exactly n arrivals),
+    or both (whichever limit hits first).
+    """
+    if rate <= 0.0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    if duration is None and n is None:
+        raise ValueError("poisson_offsets needs a duration or an arrival count")
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if duration is not None and t >= duration:
+            break
+        offsets.append(t)
+        if n is not None and len(offsets) >= n:
+            break
+    return offsets

@@ -1,0 +1,152 @@
+"""Multi-tenant workload synthesis: open-loop requests over task-DAG templates.
+
+A *request* is one tenant-attributed unit of service: a small task DAG
+stamped out from a :class:`RequestTemplate` (single task, a chain, a
+fan-in — the shapes data-system queries actually take).  The generator
+lays requests on the virtual clock with a seeded Poisson process, plus
+optional trace-driven spikes expressed as the chaos engine's own
+:class:`~repro.chaos.events.LoadBurst` records — the serving layer and
+the chaos layer share one arrival-process vocabulary
+(:mod:`repro.serving.arrivals`).
+
+Everything is seeded: the arrival times, the tenant draw per request, and
+the template draw per request, so two runs of a workload are bit-identical
+and A/B comparisons (fair queueing on vs off) see the same offered load.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..chaos.events import LoadBurst
+from .arrivals import poisson_offsets, uniform_offsets
+from .tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "RequestTemplate",
+    "Request",
+    "WorkloadGenerator",
+    "DEFAULT_TEMPLATES",
+    "default_templates",
+]
+
+
+@dataclass(frozen=True)
+class RequestTemplate:
+    """A small task DAG: ``stages[i] = (name, compute_cost, deps)`` where
+    ``deps`` are indices of earlier stages.  The last stage is the sink —
+    its output is the request's response."""
+
+    name: str
+    stages: Tuple[Tuple[str, float, Tuple[int, ...]], ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"template {self.name!r} has no stages")
+        for i, (_stage, cost, deps) in enumerate(self.stages):
+            if cost < 0:
+                raise ValueError(f"template {self.name!r} stage {i}: negative cost")
+            if any(d >= i or d < 0 for d in deps):
+                raise ValueError(
+                    f"template {self.name!r} stage {i}: deps must point at "
+                    f"earlier stages, got {deps}"
+                )
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.stages)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(cost for _name, cost, _deps in self.stages)
+
+
+def default_templates(task_cost: float = 2e-2) -> Tuple[RequestTemplate, ...]:
+    """The stock template mix at a given per-task cost: a point lookup, a
+    two-stage chain (scan -> reduce), and a two-way fan-in join."""
+    return (
+        RequestTemplate("lookup", (("lookup", task_cost, ()),)),
+        RequestTemplate(
+            "chain2",
+            (("scan", task_cost, ()), ("reduce", task_cost, (0,))),
+        ),
+        RequestTemplate(
+            "join2",
+            (
+                ("left", task_cost, ()),
+                ("right", task_cost, ()),
+                ("join", task_cost, (0, 1)),
+            ),
+        ),
+    )
+
+
+DEFAULT_TEMPLATES: Tuple[RequestTemplate, ...] = default_templates()
+
+
+@dataclass
+class Request:
+    """One tenant-attributed invocation of a template."""
+
+    request_id: str
+    tenant: Tenant
+    template: RequestTemplate
+    arrival: float  # absolute virtual time
+
+
+class WorkloadGenerator:
+    """Synthesizes a seeded open-loop request stream for a tenant population.
+
+    ``rate`` is the steady Poisson request rate over ``duration``; each
+    entry in ``bursts`` (plain chaos ``LoadBurst`` records) adds a spike of
+    evenly-spaced arrivals on top — the exact machinery
+    ``ChaosSchedule.burst`` drives, reused for trace-driven serving load.
+    """
+
+    def __init__(
+        self,
+        tenants: TenantRegistry,
+        rate: float,
+        duration: float,
+        seed: int = 0,
+        templates: Sequence[RequestTemplate] = DEFAULT_TEMPLATES,
+        bursts: Sequence[LoadBurst] = (),
+    ):
+        if not templates:
+            raise ValueError("workload needs at least one request template")
+        self.tenants = tenants
+        self.rate = rate
+        self.duration = duration
+        self.seed = seed
+        self.templates = tuple(templates)
+        self.bursts = tuple(bursts)
+
+    def arrivals(self) -> List[float]:
+        """Absolute arrival times: Poisson steady state + burst spikes."""
+        times = poisson_offsets(self.rate, duration=self.duration, seed=self.seed)
+        for burst in self.bursts:
+            times.extend(
+                burst.at + off
+                for off in uniform_offsets(
+                    burst.n_tasks, burst.duration, burst.seed, burst.jitter
+                )
+            )
+        times.sort()
+        return times
+
+    def requests(self) -> List[Request]:
+        """The full seeded request stream, in arrival order.
+
+        Tenant and template draws come from their own RNG (seeded off the
+        arrival seed) so adding a burst changes *when* requests land but
+        not which tenant the i-th request belongs to.
+        """
+        draw = random.Random(self.seed ^ 0x5EED)
+        requests: List[Request] = []
+        for i, at in enumerate(self.arrivals()):
+            tenant = self.tenants.tenant(draw.randrange(self.tenants.n_tenants))
+            template = self.templates[draw.randrange(len(self.templates))]
+            requests.append(Request(f"req-{i:06d}", tenant, template, at))
+        return requests

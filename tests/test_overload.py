@@ -313,6 +313,25 @@ class TestDeadlines:
         assert rt._ctx_of_object[c.object_id].spec.deadline == 0.3  # the min
         assert rt.get(c) == 3
 
+    def test_fanin_consumer_inherits_min_across_two_producer_deadlines(self):
+        """Two producers with *different* deadlines feed one consumer: the
+        effective deadline is the min over all of them, even when the
+        consumer brings its own (looser) deadline to the join."""
+        rt = make_rt(deadline_propagation=True)
+        tight = rt.submit(lambda: 1, deadline=0.2)
+        loose = rt.submit(lambda: 2, deadline=0.7)
+        joined = rt.submit(lambda x, y: x + y, (tight, loose), deadline=0.5)
+        assert rt._ctx_of_object[joined.object_id].spec.deadline == 0.2
+        assert rt.get(joined) == 3
+
+    def test_fanin_consumer_keeps_own_deadline_when_tightest(self):
+        rt = make_rt(deadline_propagation=True)
+        a = rt.submit(lambda: 1, deadline=0.4)
+        b = rt.submit(lambda: 2)  # deadline-free producer must not loosen it
+        c = rt.submit(lambda x, y: x + y, (a, b), deadline=0.1)
+        assert rt._ctx_of_object[c.object_id].spec.deadline == 0.1
+        assert rt.get(c) == 3
+
     def test_consumer_skipped_when_inputs_arrive_too_late(self):
         rt = make_rt(deadline_propagation=True)
         slow = rt.submit(lambda: 1, compute_cost=0.2)
