@@ -200,3 +200,8 @@ def test_e17_chaos_soak(benchmark):
         )
         with open(os.path.join(artifacts, "e17_metrics.prom"), "w") as fh:
             fh.write(to_prometheus_text(rt.telemetry.registry))
+        # protocol trace for the offline dist-sanitizer pass in CI
+        traced = run_soak(SEED, chaos=True, sanitizers=("trace",))
+        traced["rt"].probe.trace.dump(
+            os.path.join(artifacts, "e17_dist_trace.json")
+        )

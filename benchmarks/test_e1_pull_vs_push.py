@@ -51,10 +51,11 @@ def producer_consumer_pairs(resolution: ResolutionMode, op_cost: float):
         )
     values = rt.get(consumers)
     assert values == [2 * i for i in range(PAIRS)]
-    gaps = []
     by_name = {t.name: t for t in rt.timelines}
-    for i in range(PAIRS):
-        gaps.append(by_name[f"cons{i}"].finished - by_name[f"prod{i}"].finished)
+    gaps = [
+        by_name[f"cons{i}"].finished - by_name[f"prod{i}"].finished
+        for i in range(PAIRS)
+    ]
     return rt.sim.now, sum(gaps) / len(gaps), rt.control_messages
 
 

@@ -156,3 +156,11 @@ def test_e22_overload():
     with open(os.path.join(out_dir, "BENCH_E22.json"), "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
+
+    # CI sanitizes dumped protocol traces offline (the burst ends mid-run
+    # for shed work, so the trace is partial by construction)
+    if artifacts:
+        traced_rt, _ = run_scenario(spike=True, sanitizers=("trace",))
+        traced_rt.probe.trace.dump(
+            os.path.join(artifacts, "e22_dist_trace.json")
+        )

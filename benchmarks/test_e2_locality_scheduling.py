@@ -33,17 +33,16 @@ def run_job(policy: SchedulingPolicy):
     cpus = [cluster.node(f"server{i}").first_of_kind(DeviceKind.CPU) for i in range(4)]
     # materialize big shards on servers 0 and 1 only, so a placement policy
     # that ignores data location will ship most shards across the network
-    shard_refs = []
-    for i in range(N_SHARDS):
-        shard_refs.append(
-            rt.submit(
-                lambda i=i: i,
-                compute_cost=1e-4,
-                output_nbytes=SHARD_BYTES,
-                pinned_device=cpus[i % 2].device_id,
-                name=f"load{i}",
-            )
+    shard_refs = [
+        rt.submit(
+            lambda i=i: i,
+            compute_cost=1e-4,
+            output_nbytes=SHARD_BYTES,
+            pinned_device=cpus[i % 2].device_id,
+            name=f"load{i}",
         )
+        for i in range(N_SHARDS)
+    ]
     rt.get(shard_refs)
     baseline_bytes = rt.bytes_moved
 

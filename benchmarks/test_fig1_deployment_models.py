@@ -100,17 +100,15 @@ def test_fig1_deployment_models(benchmark):
     )
 
     def sweep():
-        results = []
-        for nbytes in sizes:
-            results.append(
-                (
-                    nbytes,
-                    run_serverful(nbytes),
-                    run_stateless_serverless(nbytes),
-                    run_distributed_runtime(nbytes),
-                )
+        return [
+            (
+                nbytes,
+                run_serverful(nbytes),
+                run_stateless_serverless(nbytes),
+                run_distributed_runtime(nbytes),
             )
-        return results
+            for nbytes in sizes
+        ]
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 

@@ -57,12 +57,12 @@ class DefUse:
 
     def dead_results(self) -> List[Tuple[int, Operation, Value]]:
         """(op index, op, result) for every result nothing consumes."""
-        out = []
-        for index, op in enumerate(self.func.ops):
-            for value in op.results:
-                if self.is_dead(value):
-                    out.append((index, op, value))
-        return out
+        return [
+            (index, op, value)
+            for index, op in enumerate(self.func.ops)
+            for value in op.results
+            if self.is_dead(value)
+        ]
 
 
 def def_use(func: Function) -> DefUse:

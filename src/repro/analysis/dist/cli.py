@@ -1,0 +1,119 @@
+"""``python -m repro.analysis.dist`` — sanitize dumped runtime traces.
+
+Targets are dist-trace JSON files (``DistTrace.dump``) or directories of
+them (every ``*.json`` underneath that sniffs as a dist trace).  Each
+target gets the full treatment: protocol invariant monitors plus
+happens-before race detection.  Exit status is 0 only when every target
+is clean.
+
+Benchmarks dump traces into their artifact directories when
+``BENCH_ARTIFACTS`` is set, so CI runs exactly::
+
+    python -m repro.analysis.dist artifacts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .events import DistTrace
+from .report import SanitizerReport, sanitize_trace
+
+__all__ = ["main", "expand_trace_targets", "sanitize_path"]
+
+
+def expand_trace_targets(paths: Sequence[str]) -> List[Path]:
+    """Resolve files/directories to the dist-trace files underneath.
+
+    Explicit file arguments are kept even if they don't sniff (the user
+    named them; a format error should be loud).  Directory scans keep
+    only files that sniff as dist traces, so a directory holding mixed
+    benchmark artifacts (BENCH_*.json et al.) works unmodified.
+    """
+    targets: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            targets.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.json"))
+                if DistTrace.is_trace_file(str(candidate))
+            )
+        else:
+            targets.append(path)
+    return targets
+
+
+def sanitize_path(
+    path: Path,
+    hb: bool = True,
+    partial: bool = False,
+    dedup_races: bool = True,
+) -> SanitizerReport:
+    trace = DistTrace.load(str(path))
+    return sanitize_trace(
+        trace, hb=hb, partial=partial, source=str(path), dedup_races=dedup_races
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.dist",
+        description="Sanitize distributed-runtime protocol traces "
+        "(invariant monitors + happens-before race detection).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="dist-trace JSON files, or directories to scan for them",
+    )
+    parser.add_argument(
+        "--no-hb",
+        action="store_true",
+        help="skip happens-before race detection (monitors only)",
+    )
+    parser.add_argument(
+        "--partial",
+        action="store_true",
+        help="trace was cut mid-run: skip end-of-trace completeness checks",
+    )
+    parser.add_argument(
+        "--all-races",
+        action="store_true",
+        help="report every race instance instead of one per race class",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON report per target",
+    )
+    args = parser.parse_args(argv)
+
+    targets = expand_trace_targets(args.paths)
+    if not targets:
+        print("dist-sanitizer: no trace files found")
+        return 0
+
+    failures = 0
+    for path in targets:
+        try:
+            report = sanitize_path(
+                path,
+                hb=not args.no_hb,
+                partial=args.partial,
+                dedup_races=not args.all_races,
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error[bad-trace]: {path}: {exc}")
+            failures += 1
+            continue
+        if args.json:
+            print(json.dumps(report.to_dict()))
+        else:
+            print(report.render())
+        failures += 0 if report.clean else 1
+
+    return 0 if failures == 0 else 1

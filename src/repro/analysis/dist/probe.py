@@ -1,0 +1,564 @@
+"""The online probe: the runtime's single point of contact with Skadi-TSan.
+
+``ServerlessRuntime`` creates one :class:`DistProbe` when
+``RuntimeConfig.sanitizers`` is non-empty and calls its hook methods at
+the protocol's synchronization points.  The probe owns the event
+vocabulary — message-key formats, site names, access classes — so the
+runtime hooks stay one-liners and the HB builder and monitors agree on
+the encoding by construction.
+
+Modes (``sanitizers`` tuple values):
+
+``"trace"``
+    collect a :class:`DistTrace` (needed for offline analysis / dumps).
+``"invariants"``
+    feed the protocol monitors online, event by event.
+``"hb"``
+    implies trace collection; ``report(hb=True)`` runs race detection
+    over the collected trace.
+
+With all modes off the runtime never constructs a probe, and every hook
+site is a ``probe is not None`` check — the bit-for-bit legacy path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from .events import DistTrace, ProtoEvent
+from .invariants import InvariantEngine, Violation
+from .report import SanitizerReport, sanitize_trace
+
+__all__ = ["DistProbe"]
+
+VALID_SANITIZERS = ("trace", "invariants", "hb")
+
+
+class DistProbe:
+    """Collects protocol events and/or feeds them to online monitors."""
+
+    # event kinds that exist purely to induce happens-before edges (no
+    # default monitor subscribes to them).  The runtime checks
+    # ``any_live(*HB_EDGE_KINDS)`` once at wiring time and drops the
+    # whole hook family when only monitors are on, so the invariants-only
+    # mode never even evaluates these hooks' arguments.
+    HB_EDGE_KINDS = (
+        "dispatch",
+        "attempt_start",
+        "attempt_commit",
+        "attempt_fail",
+        "retry",
+        "object_ready",
+        "get_resolve",
+        "speculate",
+        "dir_read",
+        "push_start",
+        "hb_send",
+        "hb_recv",
+    )
+
+    def __init__(
+        self,
+        sanitizers: Sequence[str],
+        clock: Callable[[], float],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        unknown = [s for s in sanitizers if s not in VALID_SANITIZERS]
+        if unknown:
+            raise ValueError(
+                f"unknown sanitizers {unknown}; valid: {list(VALID_SANITIZERS)}"
+            )
+        self.sanitizers = tuple(sanitizers)
+        self.wants_hb = "hb" in self.sanitizers
+        self.wants_trace = self.wants_hb or "trace" in self.sanitizers
+        self.wants_invariants = "invariants" in self.sanitizers
+        self._clock = clock
+        self._seq = 0
+        self.trace = DistTrace(meta=dict(meta or {}))
+        self.engine: Optional[InvariantEngine] = (
+            InvariantEngine() if self.wants_invariants else None
+        )
+        # invariants-only mode: precompute which event kinds any monitor
+        # subscribes to, so hook methods can skip building events nobody
+        # will look at.  ``None`` means every kind is live (trace mode, or
+        # a monitor that subscribes to everything).
+        self._live_kinds: Optional[FrozenSet[str]] = None
+        if not self.wants_trace:
+            if self.engine is None:
+                self._live_kinds = frozenset()
+            elif all(m.kinds for m in self.engine.monitors):
+                self._live_kinds = frozenset(
+                    kind for m in self.engine.monitors for kind in m.kinds
+                )
+        # ambient site for ownership-observer attribution: the runtime sets
+        # this immediately before a table mutation (no yield points between
+        # the set and the mutation, so it cannot be clobbered mid-flight)
+        self.site = "driver"
+        # replay incarnation per task id: replayed attempts get distinct
+        # attempt sites so a replay is not confused with its first life
+        self._incarnation: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # core emission
+    # ------------------------------------------------------------------
+
+    def _skip(self, kind: str) -> bool:
+        """True when no sink wants ``kind`` (invariants-only fast path)."""
+        live = self._live_kinds
+        return live is not None and kind not in live
+
+    def any_live(self, *kinds: str) -> bool:
+        """Whether any of ``kinds`` has a sink.  Hot call sites use this
+        at wiring time to skip even the hook-argument evaluation for
+        event families nobody subscribed to."""
+        live = self._live_kinds
+        return live is None or any(kind in live for kind in kinds)
+
+    def emit(
+        self,
+        site: str,
+        kind: str,
+        detail: Tuple[Tuple[str, Any], ...] = (),
+        sends: Tuple[str, ...] = (),
+        recvs: Tuple[str, ...] = (),
+        accesses: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        engine = self.engine
+        if not self.wants_trace:
+            # invariants-only hot path: most protocol events interest no
+            # monitor — skip even the ProtoEvent construction for those
+            if engine is None:
+                return
+            interested = engine.route(kind)
+            if not interested:
+                return
+            event = ProtoEvent(
+                seq, self._clock(), site, kind, detail, sends, recvs, accesses
+            )
+            for monitor in interested:
+                monitor.on_event(event)
+            return
+        event = ProtoEvent(
+            seq, self._clock(), site, kind, detail, sends, recvs, accesses
+        )
+        self.trace.events.append(event)
+        if engine is not None:
+            for monitor in engine.route(kind):
+                monitor.on_event(event)
+
+    # ------------------------------------------------------------------
+    # site helpers
+    # ------------------------------------------------------------------
+
+    def attempt_site(self, task_id: str, attempt: int, clone: bool = False) -> str:
+        inc = self._incarnation.get(task_id, 0)
+        base = f"attempt:{task_id}" if not inc else f"attempt:{task_id}r{inc}"
+        return f"{base}#{attempt}~" if clone else f"{base}#{attempt}"
+
+    @staticmethod
+    def raylet_site(endpoint: str) -> str:
+        return f"raylet@{endpoint}"
+
+    # ------------------------------------------------------------------
+    # task lifecycle (driver / gcs)
+    # ------------------------------------------------------------------
+
+    def submit(self, task_id: str) -> None:
+        if self._skip("submit"):
+            return
+        self.emit(
+            "driver", "submit", (("task", task_id),), sends=(f"submit:{task_id}",)
+        )
+
+    def dispatch(
+        self,
+        task_id: str,
+        attempt: int,
+        device: str,
+        deps: Iterable[str] = (),
+    ) -> None:
+        if self._skip("dispatch"):
+            return
+        recvs: Tuple[str, ...] = tuple(f"ready:{dep}" for dep in deps)
+        if attempt == 1:
+            recvs = (f"submit:{task_id}", *recvs)
+        self.emit(
+            "gcs",
+            "dispatch",
+            (("task", task_id), ("attempt", attempt), ("device", device)),
+            sends=(self._lease_key(task_id, attempt),),
+            recvs=recvs,
+        )
+
+    def _lease_key(self, task_id: str, attempt: int) -> str:
+        inc = self._incarnation.get(task_id, 0)
+        return f"lease:{task_id}:{inc}:{attempt}"
+
+    def _clone_lease_key(self, task_id: str) -> str:
+        inc = self._incarnation.get(task_id, 0)
+        return f"lease:{task_id}:{inc}:clone"
+
+    def attempt_start(self, task_id: str, attempt: int, clone: bool = False) -> None:
+        if self._skip("attempt_start"):
+            return
+        lease = (
+            self._clone_lease_key(task_id)
+            if clone
+            else self._lease_key(task_id, attempt)
+        )
+        self.emit(
+            self.attempt_site(task_id, attempt, clone),
+            "attempt_start",
+            (("task", task_id), ("attempt", attempt)),
+            recvs=(lease,),
+        )
+
+    def attempt_commit(
+        self, task_id: str, attempt: int, object_id: str, clone: bool = False
+    ) -> None:
+        if self._skip("attempt_commit"):
+            return
+        self.emit(
+            self.attempt_site(task_id, attempt, clone),
+            "attempt_commit",
+            (("task", task_id), ("attempt", attempt), ("object", object_id)),
+            sends=(f"done:{task_id}",),
+        )
+
+    def object_ready(self, site: str, object_id: str) -> None:
+        """An object reached READY (commit, put, or recovery): the
+        announcement every consumer-side ``ready:`` recv pairs with."""
+        if self._skip("object_ready"):
+            return
+        self.emit(
+            site,
+            "object_ready",
+            (("object", object_id),),
+            sends=(f"ready:{object_id}",),
+        )
+
+    def attempt_fail(
+        self, task_id: str, attempt: int, reason: str, clone: bool = False
+    ) -> None:
+        if self._skip("attempt_fail"):
+            return
+        self.emit(
+            self.attempt_site(task_id, attempt, clone),
+            "attempt_fail",
+            (("task", task_id), ("attempt", attempt), ("reason", reason)),
+            sends=(f"rep:{task_id}:{attempt}",),
+        )
+
+    def retry(self, task_id: str, attempt: int) -> None:
+        if self._skip("retry"):
+            return
+        self.emit(
+            "gcs",
+            "retry",
+            (("task", task_id), ("attempt", attempt)),
+            recvs=(f"rep:{task_id}:{attempt}",),
+        )
+
+    def task_finish(self, task_id: str) -> None:
+        self.emit(
+            "gcs", "task_finish", (("task", task_id),), recvs=(f"done:{task_id}",)
+        )
+
+    def get_resolve(self, object_ids: Sequence[str]) -> None:
+        """``get`` returned to the driver: each value's READY announcement
+        flowed back, so everything its producer did is ordered before
+        whatever the driver does next (e.g. ``free``)."""
+        if self._skip("get_resolve"):
+            return
+        self.emit(
+            "driver",
+            "get_resolve",
+            tuple(("object", oid) for oid in object_ids),
+            recvs=tuple(f"ready:{oid}" for oid in object_ids),
+        )
+
+    def task_fail(self, task_id: str, attempt: int, reason: str) -> None:
+        self.emit(
+            "gcs",
+            "task_fail",
+            (("task", task_id), ("reason", reason)),
+            recvs=(f"rep:{task_id}:{attempt}",) if attempt else (),
+        )
+
+    def task_cancel(self, task_id: str, reason: str) -> None:
+        self.emit("gcs", "task_cancel", (("task", task_id), ("reason", reason)))
+
+    def speculate(self, task_id: str) -> None:
+        """The speculation decision: launches a backup clone (its own lease)."""
+        if self._skip("speculate"):
+            return
+        self.emit(
+            "gcs",
+            "speculate",
+            (("task", task_id),),
+            sends=(self._clone_lease_key(task_id),),
+        )
+
+    def replay(self, task_id: str) -> int:
+        """Mark a lineage-replay reincarnation; returns the new incarnation.
+
+        Recovery is a control-plane act: emitting at the gcs site orders
+        the replay after the death declaration that caused it (same-site
+        program order) and before the reincarnation's re-dispatch.
+        """
+        inc = self._incarnation.get(task_id, 0) + 1
+        self._incarnation[task_id] = inc
+        self.emit("gcs", "replay", (("task", task_id), ("incarnation", inc)))
+        return inc
+
+    # ------------------------------------------------------------------
+    # ownership / object directory
+    # ------------------------------------------------------------------
+
+    _OWN_ACCESS = {
+        "create": "w",
+        "mark_ready": "w",
+        "add_location": "acc",
+        "drop_location": "w",
+        "drop_node": "w",
+        "drop_device": "w",
+        "replay_reset": "w",
+    }
+
+    def ownership_op(
+        self,
+        op: str,
+        object_id: str,
+        old: Optional[str],
+        new: Optional[str],
+        locations: int,
+    ) -> None:
+        """Observer callback for :class:`OwnershipTable` mutations.
+
+        Attribution uses the ambient ``self.site`` (set by the runtime just
+        before the mutation); the access class encodes whether interleaving
+        matters (``add_location`` commutes, everything else is exclusive).
+        """
+        kind = f"own_{op}"
+        live = self._live_kinds
+        if live is not None and kind not in live:
+            return
+        self.emit(
+            self.site,
+            kind,
+            (
+                ("object", object_id),
+                ("old", old),
+                ("new", new),
+                ("locations", locations),
+            ),
+            (),
+            (),
+            ((f"dir:{object_id}", self._OWN_ACCESS.get(op, "w")),),
+        )
+
+    def dir_read(self, site: str, object_id: str, state: Optional[str]) -> None:
+        """A stability-assuming read of a directory entry (fetch path)."""
+        if self._skip("dir_read"):
+            return
+        self.emit(
+            site,
+            "dir_read",
+            (("object", object_id), ("state", state)),
+            accesses=((f"dir:{object_id}", "r"),),
+        )
+
+    # ------------------------------------------------------------------
+    # overload protection (gcs)
+    # ------------------------------------------------------------------
+
+    def breaker_flip(
+        self, device: str, old: str, new: str, site: str = "gcs"
+    ) -> None:
+        self.emit(
+            site,
+            "breaker_flip",
+            (("device", device), ("old", old), ("new", new)),
+            accesses=((f"breaker:{device}", "w"),),
+        )
+
+    def adm_queue(self, task_id: str, limit: int) -> None:
+        self.emit("gcs", "adm_queue", (("task", task_id), ("limit", limit)))
+
+    def adm_release(self, task_id: str) -> None:
+        self.emit("gcs", "adm_release", (("task", task_id),))
+
+    def adm_reject(self, task_id: str) -> None:
+        self.emit("gcs", "adm_reject", (("task", task_id),))
+
+    def deadline_inherit(
+        self,
+        task_id: str,
+        own: Optional[float],
+        inherited: Optional[float],
+        effective: Optional[float],
+    ) -> None:
+        self.emit(
+            "gcs",
+            "deadline_inherit",
+            (
+                ("task", task_id),
+                ("own", own),
+                ("inherited", inherited),
+                ("effective", effective),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # data plane: fetch dedup registry (per-raylet) + arrivals
+    # ------------------------------------------------------------------
+
+    def fetch_begin(self, endpoint: str, object_id: str, device: str) -> None:
+        if self._skip("fetch_begin"):
+            return
+        self.emit(
+            self.raylet_site(endpoint),
+            "fetch_begin",
+            (("object", object_id), ("device", device)),
+        )
+
+    def fetch_end(self, endpoint: str, object_id: str, device: str) -> None:
+        if self._skip("fetch_end"):
+            return
+        self.emit(
+            self.raylet_site(endpoint),
+            "fetch_end",
+            (("object", object_id), ("device", device)),
+            sends=(f"fend:{object_id}:{device}",),
+        )
+
+    def fetch_abort(self, endpoint: str, object_id: str, device: str) -> None:
+        if self._skip("fetch_abort"):
+            return
+        self.emit(
+            self.raylet_site(endpoint),
+            "fetch_abort",
+            (("object", object_id), ("device", device)),
+        )
+
+    def fetch_dedup(self, endpoint: str, object_id: str, device: str) -> None:
+        if self._skip("fetch_dedup"):
+            return
+        self.emit(
+            self.raylet_site(endpoint),
+            "fetch_dedup",
+            (("object", object_id), ("device", device)),
+        )
+
+    def push_start(self, site: str, object_id: str, targets: int = 1) -> None:
+        """A push/multicast process woke up to distribute a ready object.
+
+        The ``ready:`` recv is what orders the push's ``add_location``
+        writes after the producer's commit (or the driver's put).
+        """
+        if self._skip("push_start"):
+            return
+        self.emit(
+            site,
+            "push_start",
+            (("object", object_id), ("targets", targets)),
+            recvs=(f"ready:{object_id}",),
+        )
+
+    def fetch_join(self, site: str, object_id: str, device: str) -> None:
+        """A parked follower resumed after its leader's fetch completed."""
+        if self._skip("fetch_join"):
+            return
+        self.emit(
+            site,
+            "fetch_join",
+            (("object", object_id), ("device", device)),
+            recvs=(f"fend:{object_id}:{device}",),
+        )
+
+    # ------------------------------------------------------------------
+    # health plane
+    # ------------------------------------------------------------------
+
+    def hb_send(self, endpoint: str, round_no: int) -> None:
+        if self._skip("hb_send"):
+            return
+        self.emit(
+            self.raylet_site(endpoint),
+            "hb_send",
+            (("endpoint", endpoint), ("n", round_no)),
+            sends=(f"hb:{endpoint}:{round_no}",),
+        )
+
+    def hb_recv(self, endpoint: str, round_no: int) -> None:
+        if self._skip("hb_recv"):
+            return
+        self.emit(
+            "gcs",
+            "hb_recv",
+            (("endpoint", endpoint), ("n", round_no)),
+            recvs=(f"hb:{endpoint}:{round_no}",),
+        )
+
+    # ------------------------------------------------------------------
+    # lineage / spans / chaos
+    # ------------------------------------------------------------------
+
+    def lineage_record(
+        self, object_id: str, task_id: str, deps: Iterable[str]
+    ) -> None:
+        if self._skip("lineage_record"):
+            return
+        self.emit(
+            "gcs",
+            "lineage_record",
+            (("object", object_id), ("task", task_id), ("deps", tuple(deps))),
+        )
+
+    def span_link(self, span_id: str, parent_id: Optional[str], name: str) -> None:
+        """Span parent edges from the telemetry plane (trace enrichment)."""
+        if self._skip("span_link"):
+            return
+        self.emit(
+            self.site,
+            "span_link",
+            (("span", span_id), ("parent", parent_id), ("name", name)),
+        )
+
+    def chaos(self, kind: str, **detail: Any) -> None:
+        event_kind = f"chaos_{kind}"
+        if self._skip(event_kind):
+            return
+        self.emit("chaos", event_kind, tuple(sorted(detail.items())))
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def violations(self) -> list[Violation]:
+        """Violations flagged so far (end-of-trace checks not yet run)."""
+        return self.engine.violations() if self.engine is not None else []
+
+    def report(
+        self, hb: Optional[bool] = None, partial: bool = False
+    ) -> SanitizerReport:
+        """Finalize and summarize.
+
+        ``hb`` defaults to whether the ``"hb"`` sanitizer was requested;
+        forcing it on requires a collected trace.
+        """
+        if hb is None:
+            hb = self.wants_hb
+        if hb and not self.wants_trace:
+            raise ValueError(
+                'race detection needs a collected trace: enable the "hb" or '
+                '"trace" sanitizer'
+            )
+        return sanitize_trace(
+            self.trace if self.wants_trace else DistTrace(),
+            hb=hb,
+            partial=partial,
+            engine=self.engine,
+        )

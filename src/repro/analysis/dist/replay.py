@@ -1,0 +1,113 @@
+"""Replay-divergence checking: catch nondeterminism before it poisons runs.
+
+Every benchmark in this repo is a seeded discrete-event simulation whose
+event-log signature is supposed to be a pure function of its
+configuration.  Nondeterminism — dict-iteration order feeding the
+scheduler, id allocation leaking wall-clock state, a stray ``random``
+call off the seeded stream — breaks that silently: baselines drift,
+equivalence tests flap.  The checker here runs the same scenario twice
+(or more), diffs the signatures element-by-element, and localizes the
+*first* diverging event with surrounding context, which is almost always
+enough to name the culprit subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["Divergence", "ReplayReport", "diff_signatures", "check_replay"]
+
+
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """The first point where two signatures disagree."""
+
+    index: int
+    first: Any
+    second: Any
+    # the last few agreeing entries before the split, newest last
+    context: Tuple[Any, ...] = ()
+
+    def describe(self) -> str:
+        lines = [f"first divergence at event {self.index}:"]
+        lines.extend(f"    = {entry!r}" for entry in self.context)
+        lines.append(f"  run A: {self.first!r}")
+        lines.append(f"  run B: {self.second!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ReplayReport:
+    """Verdict from re-running one scenario ``runs`` times."""
+
+    deterministic: bool
+    runs: int
+    lengths: List[int] = field(default_factory=list)
+    divergence: Optional[Divergence] = None
+    diverged_run: Optional[int] = None
+
+    def describe(self) -> str:
+        if self.deterministic:
+            return (
+                f"replay-check: deterministic across {self.runs} run(s) "
+                f"({self.lengths[0] if self.lengths else 0} events)"
+            )
+        head = (
+            f"replay-check: run {self.diverged_run} diverged from run 0 "
+            f"(lengths {self.lengths})"
+        )
+        if self.divergence is None:
+            return head
+        return f"{head}\n{self.divergence.describe()}"
+
+
+def diff_signatures(
+    a: Sequence[Any], b: Sequence[Any], context: int = 3
+) -> Optional[Divergence]:
+    """Locate the first index where ``a`` and ``b`` disagree, else None."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            lo = max(0, i - context)
+            return Divergence(
+                index=i, first=a[i], second=b[i], context=tuple(a[lo:i])
+            )
+    if len(a) != len(b):
+        longer = a if len(a) > len(b) else b
+        tail = longer[limit]
+        return Divergence(
+            index=limit,
+            first=tail if len(a) > len(b) else "<end of run A>",
+            second=tail if len(b) > len(a) else "<end of run B>",
+            context=tuple(a[max(0, limit - context):limit]),
+        )
+    return None
+
+
+def check_replay(
+    run_fn: Callable[[], Sequence[Any]], runs: int = 2, context: int = 3
+) -> ReplayReport:
+    """Execute ``run_fn`` ``runs`` times and compare every signature to run 0.
+
+    ``run_fn`` must build the scenario from scratch (fresh simulator,
+    fresh runtime) and return its event signature; sharing state between
+    invocations would mask exactly the bugs this exists to find.
+    """
+    if runs < 2:
+        raise ValueError("replay checking needs at least 2 runs")
+    baseline = list(run_fn())
+    lengths = [len(baseline)]
+    for n in range(1, runs):
+        candidate = list(run_fn())
+        lengths.append(len(candidate))
+        divergence = diff_signatures(baseline, candidate, context=context)
+        if divergence is not None:
+            return ReplayReport(
+                deterministic=False,
+                runs=n + 1,
+                lengths=lengths,
+                divergence=divergence,
+                diverged_run=n,
+            )
+    return ReplayReport(deterministic=True, runs=runs, lengths=lengths)

@@ -58,8 +58,10 @@ class ResultTable:
         lines = [f"== {self.title} =="]
         lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths, strict=False)))
         lines.append(sep)
-        for row in self.rows:
-            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=False)))
+        lines.extend(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths, strict=False))
+            for row in self.rows
+        )
         return "\n".join(lines)
 
     def show(self) -> None:

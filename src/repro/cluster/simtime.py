@@ -313,7 +313,9 @@ class Channel:
 @dataclass(order=True, slots=True)
 class _ScheduledEvent:
     time: float
-    seq: int
+    # a bare int normally; ``(rank, int)`` when a perturbation is installed
+    # (both orderings are total because the int component stays unique)
+    seq: Any
     fn: Callable = field(compare=False)
     args: tuple = field(compare=False, default=())
 
@@ -326,16 +328,40 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        # schedule perturbation hook: maps (seq, delay) -> (rank, delay).
+        # ``rank`` re-keys ties at one instant; ``delay`` may be stretched
+        # (never shrunk below zero) to jitter delivery within causal
+        # constraints.  None (the default) is the bit-for-bit legacy path.
+        self._perturb: Optional[Callable[[int, float], tuple]] = None
 
     @property
     def now(self) -> float:
         return self._now
 
+    def set_perturbation(
+        self, perturb: Optional[Callable[[int, float], tuple]]
+    ) -> None:
+        """Install (or clear) a schedule perturbation.
+
+        Must be called while the event queue is empty: mixing plain-int and
+        ``(rank, int)`` tie keys in one heap would make entries incomparable.
+        """
+        if self._queue:
+            raise SimulationError(
+                "a schedule perturbation must be installed on an idle simulator"
+            )
+        self._perturb = perturb
+
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, _ScheduledEvent(self._now + delay, self._seq, fn, args))
+        if self._perturb is None:
+            key: Any = self._seq
+        else:
+            rank, delay = self._perturb(self._seq, delay)
+            key = (rank, self._seq)
+        heapq.heappush(self._queue, _ScheduledEvent(self._now + delay, key, fn, args))
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn`` at an *absolute* virtual time.

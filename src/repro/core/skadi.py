@@ -111,10 +111,10 @@ class Skadi:
             sink = self._sink_after_optimize(graph, sink)
         pgraph = to_physical(graph)
         lines += ["", "== flowgraph =="]
-        for vertex in graph.topological_order():
-            lines.append(
-                f"  {vertex.vertex_id} {vertex.name} x{vertex.parallelism}"
-            )
+        lines.extend(
+            f"  {vertex.vertex_id} {vertex.name} x{vertex.parallelism}"
+            for vertex in graph.topological_order()
+        )
         for edge in graph.edges:
             keyed = f" [shuffle on {edge.key!r}]" if edge.key else ""
             lines.append(f"  {edge.src} -> {edge.dst}:{edge.dst_port}{keyed}")

@@ -30,13 +30,14 @@ def group_apply(
     order = np.argsort(keys, kind="stable")
     sorted_batch = batch.take(order)
     sorted_keys = sorted_batch.column(key)
-    rows: List[Dict[str, Any]] = []
     if batch.num_rows == 0:
         raise ValueError("group_apply over an empty batch: no schema for output")
     boundaries = [0] + (np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1).tolist()
     boundaries.append(batch.num_rows)
-    for lo, hi in zip(boundaries[:-1], boundaries[1:], strict=False):
-        rows.append(fn(sorted_keys[lo], sorted_batch.slice(lo, hi - lo)))
+    rows: List[Dict[str, Any]] = [
+        fn(sorted_keys[lo], sorted_batch.slice(lo, hi - lo))
+        for lo, hi in zip(boundaries[:-1], boundaries[1:], strict=False)
+    ]
     columns = {name: np.asarray([r[name] for r in rows]) for name in rows[0]}
     return RecordBatch.from_arrays(columns)
 

@@ -39,10 +39,10 @@ def micro_batches(
     """Discretize a table into a stream of micro-batches."""
     if batch_rows < 1:
         raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
-    out = []
-    for lo in range(0, batch.num_rows, batch_rows):
-        out.append(batch.slice(lo, batch_rows))
-    return out
+    return [
+        batch.slice(lo, batch_rows)
+        for lo in range(0, batch.num_rows, batch_rows)
+    ]
 
 
 class StreamOp:

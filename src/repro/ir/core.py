@@ -222,8 +222,7 @@ class Function:
         params = ", ".join(f"%{p.name}: {p.type!r}" for p in self.params)
         rets = ", ".join(repr(v.type) for v in self.returns)
         lines.append(f"func @{self.name}({params}) -> ({rets}) {{")
-        for op in self.ops:
-            lines.append(f"  {op.to_text()}")
+        lines.extend(f"  {op.to_text()}" for op in self.ops)
         returns = ", ".join(repr(v) for v in self.returns)
         lines.append(f"  return {returns}")
         lines.append("}")

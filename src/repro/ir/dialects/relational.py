@@ -53,9 +53,7 @@ def _infer_project(types: Sequence[IRType], attrs: Dict[str, Any]) -> List[IRTyp
     frame = _frame(types)
     columns = tuple(attrs.get("columns", ()))
     derived = tuple(attrs.get("derived", ()))  # (name, Expr, dtype)
-    out = []
-    for name in columns:
-        out.append((name, frame.dtype_of(name)))
+    out = [(name, frame.dtype_of(name)) for name in columns]
     for name, expr, dtype in derived:
         if not isinstance(expr, Expr):
             raise TypeError(f"derived column {name!r} needs an Expr")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 __all__ = [
     "Generation",
@@ -157,6 +157,14 @@ class RuntimeConfig:
     # than the coldest by this factor for this many consecutive checks.
     serving_rebalance_threshold: float = 2.0
     serving_rebalance_patience: int = 3
+    # -- distributed sanitizer (repro.analysis.dist, "Skadi-TSan").  Which
+    # probe modes to arm: "trace" collects the protocol-event stream,
+    # "invariants" runs the protocol monitors online, "hb" collects the
+    # stream and enables happens-before race detection at report time.
+    # The empty default constructs no probe at all — every hook site is a
+    # ``probe is not None`` check, so the legacy event traces (and their
+    # virtual timings) are reproduced bit-for-bit.
+    sanitizers: Tuple[str, ...] = ()
     # accounting
     track_task_timeline: bool = True
 

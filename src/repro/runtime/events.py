@@ -14,7 +14,7 @@ as a :class:`RuntimeEvent`.  The log serves three masters:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["RuntimeEvent", "EventLog"]
 
@@ -51,12 +51,20 @@ class EventLog:
         # observer poked on every record — the telemetry plane mirrors the
         # log into incident counters so both views share one source of truth
         self.on_record: Optional[Callable[[RuntimeEvent], None]] = None
+        # additional observers (the dist-sanitizer probe mirrors chaos
+        # injections without displacing the telemetry hook above)
+        self._observers: List[Callable[[RuntimeEvent], None]] = []
+
+    def add_observer(self, observer: Callable[[RuntimeEvent], None]) -> None:
+        self._observers.append(observer)
 
     def record(self, time: float, kind: str, **detail: Any) -> RuntimeEvent:
         ev = RuntimeEvent(time, kind, tuple(sorted(detail.items())))
         self.events.append(ev)
         if self.on_record is not None:
             self.on_record(ev)
+        for observer in self._observers:
+            observer(ev)
         return ev
 
     def of_kind(self, kind: str) -> List[RuntimeEvent]:
@@ -80,5 +88,5 @@ class EventLog:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RuntimeEvent]:
         return iter(self.events)

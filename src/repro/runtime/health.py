@@ -41,7 +41,7 @@ spinning.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set, Tuple
 
 from ..cluster.hardware import Device
 from ..cluster.node import NodeKind
@@ -142,12 +142,16 @@ class HeartbeatMonitor:
                 (dev.device_id, dev.alive) for dev in self._status_devices(raylet)
             )
             self.beats_sent += 1
+            round_no = self.beats_sent
+            probe = getattr(self.runtime, "probe_edges", None)
+            if probe is not None:
+                probe.hb_send(raylet.endpoint, round_no)
             self._meter("skadi_heartbeats_sent_total", "heartbeats emitted per node", node_id)
             delivered = yield self.net.message(
                 raylet.endpoint, self.runtime.gcs_endpoint, label="heartbeat"
             )
             if delivered:
-                self._beat(node_id, raylet, status)
+                self._beat(node_id, raylet, status, round_no)
 
     @staticmethod
     def _status_devices(raylet: "Raylet") -> List[Device]:
@@ -166,8 +170,12 @@ class HeartbeatMonitor:
         node_id: str,
         raylet: "Raylet",
         status: Tuple[Tuple[str, bool], ...] = (),
+        round_no: Optional[int] = None,
     ) -> None:
         self.beats_received += 1
+        probe = getattr(self.runtime, "probe_edges", None)
+        if probe is not None and round_no is not None:
+            probe.hb_recv(raylet.endpoint, round_no)
         self._meter(
             "skadi_heartbeats_received_total", "heartbeats the GCS received per node", node_id
         )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 __all__ = ["ValueState", "OwnershipEntry", "OwnershipTable"]
 
@@ -43,12 +43,36 @@ class OwnershipTable:
     def __init__(self) -> None:
         self._entries: Dict[str, OwnershipEntry] = {}
         self._handles = itertools.count(1)
+        # dist-sanitizer hook: called as observer(op, object_id, old_state,
+        # new_state, location_count) after every directory mutation.  None
+        # (the default) keeps every mutator on its legacy path.
+        self.observer: Optional[
+            Callable[[str, str, Optional[str], Optional[str], int], None]
+        ] = None
+
+    # enum ``.name`` goes through a descriptor on every read; the observer
+    # fires per directory mutation, so resolve names via a plain dict
+    _STATE_NAMES = {state: state.name for state in ValueState}
+
+    def _observe(
+        self, op: str, entry: OwnershipEntry, old: Optional[ValueState]
+    ) -> None:
+        if self.observer is not None:
+            names = self._STATE_NAMES
+            self.observer(
+                op,
+                entry.object_id,
+                None if old is None else names[old],
+                names[entry.state],
+                len(entry.locations),
+            )
 
     def create(self, object_id: str, owner: str, task_id: str) -> OwnershipEntry:
         if object_id in self._entries:
             raise KeyError(f"object {object_id!r} already registered")
         entry = OwnershipEntry(object_id=object_id, owner=owner, task_id=task_id)
         self._entries[object_id] = entry
+        self._observe("create", entry, None)
         return entry
 
     def entry(self, object_id: str) -> OwnershipEntry:
@@ -68,35 +92,45 @@ class OwnershipTable:
         device_id: Optional[str] = None,
     ) -> OwnershipEntry:
         entry = self.entry(object_id)
+        old = entry.state
         entry.state = ValueState.READY
         entry.nbytes = nbytes
         entry.locations.add(node_id)
         if device_id is not None:
             entry.device_id = device_id
             entry.device_handle = next(self._handles)
+        self._observe("mark_ready", entry, old)
         return entry
 
     def add_location(self, object_id: str, node_id: str) -> None:
         entry = self.entry(object_id)
+        old = entry.state
         entry.locations.add(node_id)
         if entry.state == ValueState.LOST:
             entry.state = ValueState.READY
+        self._observe("add_location", entry, old)
 
     def drop_location(self, object_id: str, node_id: str) -> None:
         entry = self.entry(object_id)
+        old = entry.state
+        had = node_id in entry.locations
         entry.locations.discard(node_id)
         if not entry.locations and entry.state == ValueState.READY:
             entry.state = ValueState.LOST
+        if had or entry.state is not old:
+            self._observe("drop_location", entry, old)
 
     def drop_node(self, node_id: str) -> List[str]:
         """A node died: forget its copies; return newly-lost object ids."""
         lost = []
         for entry in self._entries.values():
             if node_id in entry.locations:
+                old = entry.state
                 entry.locations.discard(node_id)
                 if not entry.locations and entry.state == ValueState.READY:
                     entry.state = ValueState.LOST
                     lost.append(entry.object_id)
+                self._observe("drop_node", entry, old)
             if entry.device_id is not None and entry.device_id.startswith(node_id + "/"):
                 entry.device_id = None
                 entry.device_handle = None
@@ -118,6 +152,7 @@ class OwnershipTable:
                 entry.device_id = None
                 entry.device_handle = None
                 invalidated.append(entry.object_id)
+                self._observe("drop_device", entry, entry.state)
         return invalidated
 
     def is_ready(self, object_id: str) -> bool:

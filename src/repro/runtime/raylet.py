@@ -62,6 +62,10 @@ class Raylet:
         self.admission_inflight = 0
         # telemetry MetricsRegistry, wired in by the runtime (duck-typed)
         self.metrics = None
+        # dist-sanitizer probe, wired in by the runtime (duck-typed).  The
+        # fetch registry is per-raylet state, so its begin/end/dedup/abort
+        # ops are attributed to this raylet's site.
+        self.probe = None
         self.alive = True
         self.incarnation = 0  # bumped on every restart (stale-lease detection)
         self.failures = 0
@@ -131,14 +135,21 @@ class Raylet:
         """
         sig = Signal(self.sim)
         self._inflight_fetches[(object_id, device_id)] = sig
+        if self.probe is not None:
+            self.probe.fetch_begin(self.endpoint, object_id, device_id)
         return sig
 
     def end_fetch(self, object_id: str, device_id: str) -> None:
         sig = self._inflight_fetches.pop((object_id, device_id), None)
-        if sig is not None and not sig.triggered:
-            sig.succeed()
+        if sig is not None:
+            if self.probe is not None:
+                self.probe.fetch_end(self.endpoint, object_id, device_id)
+            if not sig.triggered:
+                sig.succeed()
 
-    def note_deduped_fetch(self, device_id: str) -> None:
+    def note_deduped_fetch(self, device_id: str, object_id: Optional[str] = None) -> None:
+        if self.probe is not None and object_id is not None:
+            self.probe.fetch_dedup(self.endpoint, object_id, device_id)
         self.fetches_deduped += 1
         if self.metrics is not None:
             self.metrics.counter(
@@ -153,7 +164,9 @@ class Raylet:
         (used on failure so followers fall into their retry paths instead
         of waiting on a dead leader)."""
         pending, self._inflight_fetches = self._inflight_fetches, {}
-        for sig in pending.values():
+        for (object_id, device_id), sig in pending.items():
+            if self.probe is not None:
+                self.probe.fetch_abort(self.endpoint, object_id, device_id)
             if not sig.triggered:
                 sig.succeed()
 

@@ -338,6 +338,28 @@ class ServerlessRuntime:
                 self.config.heartbeat_interval,
                 self.config.heartbeat_miss_threshold,
             )
+        # -- distributed sanitizer ("Skadi-TSan"): built only when asked for,
+        # so the empty default adds no state and no events — every hook below
+        # is a ``probe is not None`` check on its legacy path.
+        self.probe = None
+        # handle for the hooks that only induce happens-before edges; stays
+        # None in invariants-only mode so those (hot) call sites skip even
+        # their argument evaluation
+        self.probe_edges = None
+        if self.config.sanitizers:
+            from ..analysis.dist.probe import DistProbe  # lazy: analysis is optional
+
+            self.probe = DistProbe(
+                self.config.sanitizers,
+                clock=lambda: self.sim.now,
+                meta={"config": self.config.describe()},
+            )
+            if self.probe.any_live(*DistProbe.HB_EDGE_KINDS):
+                self.probe_edges = self.probe
+            self.ownership.observer = self.probe.ownership_op
+            for raylet in self._raylets:
+                raylet.probe = self.probe
+            self.log.add_observer(self._mirror_chaos_event)
         self.scheduler._meter_capacity()  # publish the healthy-cluster baseline
 
     # -- construction ----------------------------------------------------------
@@ -427,6 +449,25 @@ class ServerlessRuntime:
             kind=ev.kind,
         ).inc()
 
+    def _mirror_chaos_event(self, ev: RuntimeEvent) -> None:
+        """Mirror chaos-monkey injections into the dist-sanitizer trace.
+
+        Faults strike from outside the protocol, so chaos events carry no
+        causal ancestry: they live on their own ``chaos`` site and anything
+        they race with is a genuine finding, not a missing edge.
+        """
+        if self.probe is not None and ev.kind.startswith("chaos_"):
+            self.probe.emit("chaos", ev.kind, ev.detail)
+
+    def _probe_site(self, site: str) -> None:
+        """Attribute the directly-following directory mutation to ``site``.
+
+        Only meaningful with a probe; callers must not yield between this
+        and the mutation or another process could re-attribute it.
+        """
+        if self.probe is not None:
+            self.probe.site = site
+
     @property
     def events(self) -> List[RuntimeEvent]:
         return self.log.events
@@ -501,6 +542,7 @@ class ServerlessRuntime:
                 if raylet is not None and not raylet.alive:
                     return False
         stale = sorted(entry.locations)
+        self._probe_site("gcs")  # reconciliation is a directory-side act
         for node_id in stale:
             self.ownership.drop_location(object_id, node_id)
         self._record("object_reconciled", object=object_id, stale_locations=stale)
@@ -535,12 +577,15 @@ class ServerlessRuntime:
         """Driver-side put: store on the head node, immediately ready."""
         oid = self.ids.object_id()
         nbytes = nbytes if nbytes is not None else estimate_nbytes(value)
+        self._probe_site("driver")
         self.ownership.create(oid, owner=DRIVER, task_id="")
         head = self._head_node()
         raylet = self._raylets_by_node[head.node_id][0]
         store = raylet.store_of(raylet.host_device.device_id)
         store.put(oid, value, nbytes)
         self.ownership.mark_ready(oid, head.node_id, nbytes, raylet.host_device.device_id)
+        if self.probe_edges is not None:
+            self.probe_edges.object_ready("driver", oid)
         self._on_object_ready(oid)
         return ObjectRef(oid, owner=DRIVER)
 
@@ -619,6 +664,11 @@ class ServerlessRuntime:
             raise UnrecoverableObjectError(
                 f"objects still lost after {self.config.max_lineage_replays} replays"
             )
+        if self.probe_edges is not None:
+            # get() returning is the completion flowing back to the driver:
+            # each producer's work is now ordered before whatever the driver
+            # does next (a later free() is sanctioned, not racy).
+            self.probe_edges.get_resolve([ref.object_id for ref in ref_list])
         values = [self._read_value(ref) for ref in ref_list]
         return values[0] if single else values
 
@@ -739,9 +789,18 @@ class ServerlessRuntime:
             # exists, so a rejected submission is cleanly retryable
             queue_instead = self._admission_gate(spec)
         oid = self.ids.object_id()
+        self._probe_site("driver")
         self.ownership.create(oid, owner=DRIVER, task_id=spec.task_id)
         ref = ObjectRef(oid, owner=DRIVER, task_id=spec.task_id)
         self.lineage.record(spec, [oid])
+        if self.probe is not None:
+            self.probe.lineage_record(
+                oid, spec.task_id, [r.object_id for r in spec.dependencies]
+            )
+            # after the gate (a rejected submission never became a task) and
+            # after the owner record: the submit message the dispatch joins
+            # on represents the fully-registered task
+            self.probe.submit(spec.task_id)
         ctx = _TaskCtx(spec, ref, Signal(self.sim))
         ctx.timeline.submitted = self.sim.now
         self._open_task_span(ctx)
@@ -751,6 +810,10 @@ class ServerlessRuntime:
         self._open_tasks += 1
         if queue_instead:
             self._admission_overflow.append(ctx)
+            if self.probe is not None:
+                self.probe.adm_queue(
+                    spec.task_id, self.config.admission_overflow_depth
+                )
             self._record(
                 "admission_queued", task=spec.task_id, name=spec.name,
                 depth=len(self._admission_overflow),
@@ -814,10 +877,13 @@ class ServerlessRuntime:
                 self._count_shed("displaced_by_priority")
                 self._cancel_and_propagate(victim, reason="displaced_by_priority")
                 return False
-        elif policy is AdmissionPolicy.QUEUE_WITH_DEADLINE and spec.gang_group is None:
+        elif (
+            policy is AdmissionPolicy.QUEUE_WITH_DEADLINE
             # gangs cannot park member-by-member; they fall through to reject
-            if len(self._admission_overflow) < cfg.admission_overflow_depth:
-                return True
+            and spec.gang_group is None
+            and len(self._admission_overflow) < cfg.admission_overflow_depth
+        ):
+            return True
         # the tenant label rides along only when the submitter has one, so
         # tenant-less (single-driver) traces keep their exact legacy detail
         tenant_label = {} if spec.tenant is None else {"tenant": spec.tenant}
@@ -834,6 +900,8 @@ class ServerlessRuntime:
             "submissions refused by the bounded admission queue",
             **tenant_label,
         ).inc()
+        if self.probe is not None:
+            self.probe.adm_reject(spec.task_id)
         raise AdmissionRejectedError(
             f"admission queue full ({self._admitted_open}/{cfg.admission_queue_depth} "
             f"open tasks); task {spec.task_id} rejected",
@@ -881,6 +949,8 @@ class ServerlessRuntime:
             and self._admitted_open < self.config.admission_queue_depth
         ):
             ctx = self._admission_overflow.pop(0)
+            if self.probe is not None:
+                self.probe.adm_release(ctx.spec.task_id)
             if ctx.state is not TaskState.PENDING:
                 continue
             if ctx.spec.deadline is not None and self.sim.now >= ctx.spec.deadline:
@@ -968,15 +1038,21 @@ class ServerlessRuntime:
     def _inherit_deadline(self, spec: TaskSpec) -> None:
         """Effective deadline = min(own, every producer's) — a consumer can
         never outlive the data it waits for."""
-        deadline = spec.deadline
+        own = spec.deadline
+        inherited: Optional[float] = None
         for dep in spec.dependencies:
             producer = self._ctx_of_object.get(dep.object_id)
             if producer is None:
                 continue
             upstream = producer.spec.deadline
-            if upstream is not None and (deadline is None or upstream < deadline):
-                deadline = upstream
+            if upstream is not None and (inherited is None or upstream < inherited):
+                inherited = upstream
+        deadline = own
+        if inherited is not None and (deadline is None or inherited < deadline):
+            deadline = inherited
         spec.deadline = deadline
+        if self.probe is not None:
+            self.probe.deadline_inherit(spec.task_id, own, inherited, deadline)
 
     def _deadline_expired(self, spec: TaskSpec) -> bool:
         return (
@@ -1032,6 +1108,8 @@ class ServerlessRuntime:
         ctx.state = TaskState.CANCELLED
         ctx.error = f"cancelled: {reason}"
         self.tasks_cancelled += 1
+        if self.probe is not None:
+            self.probe.task_cancel(ctx.spec.task_id, reason)
         # tenant attribution only when the submitter carried one — the
         # label-less legacy series and event detail stay byte-identical
         tenant_label = {} if ctx.spec.tenant is None else {"tenant": ctx.spec.tenant}
@@ -1078,13 +1156,16 @@ class ServerlessRuntime:
                     TaskState.RESOLVING,
                 ):
                     continue
-                if any(
-                    dep.object_id in cancelled_oids for dep in ctx.spec.dependencies
+                if (
+                    any(
+                        dep.object_id in cancelled_oids
+                        for dep in ctx.spec.dependencies
+                    )
+                    and self._cancel_ctx(ctx, reason="upstream_cancelled")
+                    and ctx.ref.object_id not in seen
                 ):
-                    if self._cancel_ctx(ctx, reason="upstream_cancelled"):
-                        if ctx.ref.object_id not in seen:
-                            seen.add(ctx.ref.object_id)
-                            frontier.add(ctx.ref.object_id)
+                    seen.add(ctx.ref.object_id)
+                    frontier.add(ctx.ref.object_id)
 
     # -- overload control: circuit breakers -----------------------------------
 
@@ -1103,6 +1184,8 @@ class ServerlessRuntime:
             BreakerState.HALF_OPEN: "breaker_half_open",
             BreakerState.CLOSED: "breaker_closed",
         }[new]
+        if self.probe is not None:
+            self.probe.breaker_flip(device_id, old.name, new.name)
         self._record(kind, device=device_id, previous=old.value)
         reg = self.telemetry.registry
         reg.counter(
@@ -1243,6 +1326,13 @@ class ServerlessRuntime:
             self._device_inflight[dev_id] = self._device_inflight.get(dev_id, 0) + 1
         ctx.state = TaskState.SCHEDULED
         ctx.attempt += 1
+        if self.probe_edges is not None and not ctx.is_clone:
+            self.probe_edges.dispatch(
+                spec.task_id,
+                ctx.attempt,
+                ctx.device.device_id,
+                [r.object_id for r in spec.dependencies],
+            )
         if self.config.resolution == ResolutionMode.PUSH:
             self._register_subscriptions(ctx)
         ctx.proc = self.sim.process(self._run_task(ctx), name=f"task:{spec.task_id}")
@@ -1344,6 +1434,9 @@ class ServerlessRuntime:
             targets.append(dev_id)
         if not targets:
             return
+        mcast_site = f"mcast:{object_id}"
+        if self.probe_edges is not None:
+            self.probe_edges.push_start(mcast_site, object_id, targets=len(targets))
         # register each leg with the fetch-dedup registry so concurrent
         # pulls/pushes of the same object ride this distribution
         guards: List[Tuple[Raylet, str]] = []
@@ -1369,6 +1462,7 @@ class ServerlessRuntime:
             for raylet, dev_id in guards:
                 raylet.end_fetch(object_id, dev_id)
         reached = set(delivered or [])
+        self._probe_site(mcast_site)  # no yields below until every add_location
         for dev_id in targets:
             if dev_id not in reached:
                 continue  # partitioned off; its pull-retry path takes over
@@ -1393,12 +1487,19 @@ class ServerlessRuntime:
         sig = self._arrival_signal(object_id, ctx.device.device_id)
         if sig.triggered:
             return
+        push_site = f"push:{object_id}->{ctx.device.device_id}"
+        if self.probe_edges is not None:
+            self.probe_edges.push_start(push_site, object_id)
         if self.config.fetch_dedup:
             pending = ctx.raylet.pending_fetch(object_id, ctx.device.device_id)
             if pending is not None:
                 # another push/pull is already moving this object here
-                ctx.raylet.note_deduped_fetch(ctx.device.device_id)
+                ctx.raylet.note_deduped_fetch(ctx.device.device_id, object_id)
                 yield pending
+                if self.probe is not None:
+                    self.probe.fetch_join(
+                        push_site, object_id, ctx.device.device_id
+                    )
                 if (
                     ctx.raylet.store_of(ctx.device.device_id).contains(object_id)
                     and not sig.triggered
@@ -1442,6 +1543,7 @@ class ServerlessRuntime:
                     dst_store.put(object_id, src_store.get(object_id).value, entry.nbytes)
                 except (SpillFailedError, StoreUnavailableError):
                     return  # the consumer's pull-retry path will surface this
+                self._probe_site(push_site)
                 self.ownership.add_location(object_id, ctx.device.node_id)
         if not sig.triggered:
             sig.succeed()
@@ -1482,7 +1584,7 @@ class ServerlessRuntime:
             # object: ride its transfer instead of paying the bytes again.
             # If the leader fails, the local-store recheck in _run_task
             # surfaces this as a transient fetch failure and retries.
-            ctx.raylet.note_deduped_fetch(device_id)
+            ctx.raylet.note_deduped_fetch(device_id, ref.object_id)
             if self.ownership.contains(ref.object_id):
                 entry = self.ownership.entry(ref.object_id)
                 reg = self.telemetry.registry
@@ -1491,6 +1593,14 @@ class ServerlessRuntime:
                     "payload bytes not re-transferred thanks to fetch dedup",
                 ).inc(entry.nbytes)
             yield pending
+            if self.probe is not None:
+                self.probe.fetch_join(
+                    self.probe.attempt_site(
+                        ctx.spec.task_id, ctx.attempt, ctx.is_clone
+                    ),
+                    ref.object_id,
+                    device_id,
+                )
             return
         ctx.raylet.begin_fetch(ref.object_id, device_id)
         try:
@@ -1514,6 +1624,16 @@ class ServerlessRuntime:
             if located is False:
                 return  # chaos ate the lookup; the caller treats it as a miss
             entry = self.ownership.entry(ref.object_id)
+            if self.probe_edges is not None:
+                # a stability-assuming read: the fetch plan built from this
+                # state races with any concurrent LOST/reconcile transition
+                self.probe_edges.dir_read(
+                    self.probe_edges.attempt_site(
+                        ctx.spec.task_id, ctx.attempt, ctx.is_clone
+                    ),
+                    ref.object_id,
+                    entry.state.name,
+                )
             if entry.state != ValueState.READY:
                 return  # lost/pending: surfaces as a transient fetch failure
             src_store = self._find_store_with(ref.object_id)
@@ -1553,6 +1673,10 @@ class ServerlessRuntime:
                 )
             except (SpillFailedError, StoreUnavailableError):
                 return  # surfaces as a fetch miss; the retry policy absorbs it
+            if self.probe is not None:
+                self.probe.site = self.probe.attempt_site(
+                    ctx.spec.task_id, ctx.attempt, ctx.is_clone
+                )
             self.ownership.add_location(ref.object_id, ctx.device.node_id)
 
     # -- the task lifecycle -------------------------------------------------------------
@@ -1581,6 +1705,8 @@ class ServerlessRuntime:
             )
             if delivered is False or not raylet.alive:
                 raise _TransientTaskError("lease lost in transit")
+            if self.probe_edges is not None:
+                self.probe_edges.attempt_start(spec.task_id, ctx.attempt, ctx.is_clone)
             yield raylet.control()
             if not device.alive:
                 # the raylet can see its own silicon (local knowledge, no
@@ -1707,9 +1833,22 @@ class ServerlessRuntime:
                 # a dead blade refusing the spill (or an output device dying
                 # under us) is a fault to retry around, not an app error
                 raise _TransientTaskError(str(exc)) from None
+            if self.probe is not None:
+                self.probe.site = self.probe.attempt_site(
+                    spec.task_id, ctx.attempt, ctx.is_clone
+                )
             self.ownership.mark_ready(
                 ctx.ref.object_id, device.node_id, nbytes, device.device_id
             )
+            if self.probe_edges is not None:
+                # the commit point: the done/ready announcements every
+                # downstream recv pairs with originate here
+                self.probe_edges.attempt_commit(
+                    spec.task_id, ctx.attempt, ctx.ref.object_id, ctx.is_clone
+                )
+                self.probe_edges.object_ready(
+                    self.probe_edges.site, ctx.ref.object_id
+                )
 
             # 6. optional reliable-cache write (replication/EC)
             if self.reliable_cache is not None:
@@ -1720,6 +1859,8 @@ class ServerlessRuntime:
 
             # 7. completion notification back to the scheduler/GCS
             yield self.net.message(raylet.endpoint, self.scheduler.endpoint, label="done")
+            if self.probe is not None:
+                self.probe.task_finish(spec.task_id)
             ctx.state = TaskState.FINISHED
             ctx.timeline.finished = self.sim.now
             ctx.timeline.device_id = device.device_id
@@ -1820,6 +1961,10 @@ class ServerlessRuntime:
         # the failing attempt's device feeds the breakers and keys the
         # retry budget — capture it before the attempt state is cleared
         failed_device = ctx.device
+        if self.probe_edges is not None and failed_device is not None:
+            # only a real attempt (one that held a device) reports a failure;
+            # placement errors never started one
+            self.probe_edges.attempt_fail(ctx.spec.task_id, ctx.attempt, cause)
         if self._breakers is not None and failed_device is not None:
             self._breakers.record_failure(failed_device.device_id, self.sim.now)
         ctx.retries += 1
@@ -1872,6 +2017,8 @@ class ServerlessRuntime:
                 retry=ctx.retries,
                 cause=cause,
             )
+        if self.probe_edges is not None:
+            self.probe_edges.retry(ctx.spec.task_id, ctx.attempt)
         self._record(
             "task_retry",
             task=ctx.spec.task_id,
@@ -1898,6 +2045,8 @@ class ServerlessRuntime:
     def _fail_ctx(self, ctx: _TaskCtx, error: str) -> None:
         ctx.state = TaskState.FAILED
         ctx.error = error
+        if self.probe is not None:
+            self.probe.task_fail(ctx.spec.task_id, ctx.attempt, error)
         self.tasks_failed += 1
         self._m_failed.inc()
         self._close_failed_span(ctx, error)
@@ -1969,6 +2118,8 @@ class ServerlessRuntime:
         clone.attempt = 1
         ctx.twin = clone
         self._m_speculations.inc()
+        if self.probe_edges is not None:
+            self.probe_edges.speculate(ctx.spec.task_id)
         self._record(
             "speculate",
             task=ctx.spec.task_id,
@@ -2199,6 +2350,9 @@ class ServerlessRuntime:
                 self._spill_store.delete(oid)
             if self.reliable_cache is not None:
                 self.reliable_cache.delete(oid)
+            if self.probe is not None:
+                self.probe.site = "driver"
+                self.probe.ownership_op("free", oid, entry.state.name, None, 0)
             entry.locations.clear()
             self.ownership._entries.pop(oid, None)
             self._ctx_of_object.pop(oid, None)
@@ -2247,9 +2401,12 @@ class ServerlessRuntime:
         store = raylet.store_of(raylet.host_device.device_id)
         if not store.contains(object_id):
             store.put(object_id, value, entry.nbytes)
+        self._probe_site("gcs")  # recovery is a control-plane act
         self.ownership.mark_ready(
             object_id, head.node_id, entry.nbytes, raylet.host_device.device_id
         )
+        if self.probe_edges is not None:
+            self.probe_edges.object_ready("gcs", object_id)
         self._on_object_ready(object_id)
         return True
 
@@ -2309,6 +2466,7 @@ class ServerlessRuntime:
         for raylet in self._raylets_by_node.get(node_id, []):
             for dev in raylet.devices:
                 self.scheduler.blacklist(dev.device_id)
+        self._probe_site("gcs")  # death declarations are the detector's act
         lost = self.ownership.drop_node(node_id)
         self._record("node_dead", node=node_id, cause=cause, objects_lost=len(lost))
         # actor state is volatile: actors homed there restart from their last
@@ -2403,16 +2561,26 @@ class ServerlessRuntime:
         if self._breakers is not None:
             self._breakers.breaker(device_id).force_open(self.sim.now)
         self.scheduler.blacklist(device_id)
+        self._probe_site("gcs")  # death declarations are the detector's act
         self.ownership.drop_device(device_id)
         node_id = device.node_id
         lost: List[str] = []
         for entry in self.ownership.objects():
-            if node_id in entry.locations and entry.state == ValueState.READY:
-                if not self._node_has_copy(node_id, entry.object_id):
-                    entry.locations.discard(node_id)
-                    if not entry.locations:
-                        entry.state = ValueState.LOST
-                        lost.append(entry.object_id)
+            if (
+                node_id in entry.locations
+                and entry.state == ValueState.READY
+                and not self._node_has_copy(node_id, entry.object_id)
+            ):
+                entry.locations.discard(node_id)
+                if not entry.locations:
+                    entry.state = ValueState.LOST
+                    lost.append(entry.object_id)
+                    if self.probe is not None:
+                        # mirrors the in-place transition above (this
+                        # path bypasses the table's mutators)
+                        self.probe.ownership_op(
+                            "drop_location", entry.object_id, "READY", "LOST", 0
+                        )
         self._record(
             "device_dead",
             device=device_id,
@@ -2557,6 +2725,7 @@ class ServerlessRuntime:
         if node_id in self._dead_blades:
             return []
         self._dead_blades.add(node_id)
+        self._probe_site("gcs")  # death declarations are the detector's act
         lost = self.ownership.drop_node(node_id)
         self._record("blade_dead", node=node_id, cause=cause, objects_lost=len(lost))
         self.telemetry.registry.counter(
@@ -2660,9 +2829,12 @@ class ServerlessRuntime:
                 store = raylet.store_of(raylet.host_device.device_id)
                 if not store.contains(oid):
                     store.put(oid, value, entry.nbytes or estimate_nbytes(value))
+                self._probe_site("gcs")  # recovery is a control-plane act
                 self.ownership.mark_ready(
                     oid, head.node_id, entry.nbytes, raylet.host_device.device_id
                 )
+                if self.probe_edges is not None:
+                    self.probe_edges.object_ready("gcs", oid)
                 # charge the reconstruction time in virtual time
                 self.sim.schedule(cost, lambda: None)
                 self._record(
@@ -2695,8 +2867,18 @@ class ServerlessRuntime:
             self._count_recovery("lineage", 1, recomputed)
         for spec in plan:
             old_ids = self.lineage.outputs_of(spec.task_id)
+            if self.probe is not None:
+                # reincarnation: later attempts of this task get distinct
+                # sites and lease keys, so a replay is not confused with
+                # the task's first life
+                self.probe.replay(spec.task_id)
             for out_oid in old_ids:
                 entry = self.ownership.entry(out_oid)
+                if self.probe is not None:
+                    self.probe.site = "gcs"  # recovery is a control-plane act
+                    self.probe.ownership_op(
+                        "replay_reset", out_oid, entry.state.name, "PENDING", 0
+                    )
                 entry.state = ValueState.PENDING
                 entry.locations.clear()
             ctx = _TaskCtx(spec, ObjectRef(old_ids[0], task_id=spec.task_id), Signal(self.sim))

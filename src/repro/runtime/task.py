@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..cluster.hardware import DeviceKind
@@ -65,8 +66,10 @@ class TaskSpec:
         if not self.name:
             self.name = getattr(self.func, "__name__", "task")
 
-    @property
+    @cached_property
     def dependencies(self) -> List[ObjectRef]:
+        # args/kwargs are fixed at submission, so the recursive ref walk
+        # only needs to happen once; this sits on the dispatch hot path
         return collect_refs((self.args, self.kwargs))
 
     def __repr__(self) -> str:

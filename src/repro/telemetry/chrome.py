@@ -103,15 +103,15 @@ def counters_to_chrome_events(
                 else ""
             )
             series = family.name + suffix
-            for t, value in inst.samples:
-                events.append(
-                    {
-                        "name": series,
-                        "cat": "metric",
-                        "ph": "C",
-                        "ts": t * 1e6,
-                        "pid": pid,
-                        "args": {"value": value},
-                    }
-                )
+            events.extend(
+                {
+                    "name": series,
+                    "cat": "metric",
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": pid,
+                    "args": {"value": value},
+                }
+                for t, value in inst.samples
+            )
     return events

@@ -1,0 +1,167 @@
+"""Happens-before inference and race detection over synthetic traces.
+
+These tests drive :func:`repro.analysis.dist.hb.build_hb` with hand-built
+:class:`DistTrace` objects so every causal shape — program order, message
+edges, concurrency, conflicting access classes, FastTrack pruning — is
+pinned independently of the runtime's probe wiring.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dist.events import CONFLICTS, DistTrace
+from repro.analysis.dist.hb import build_hb, site_class, vc_leq
+
+
+def make_trace(rows):
+    """rows: (site, kind, sends, recvs, accesses) tuples at increasing time."""
+    trace = DistTrace()
+    for i, (site, kind, sends, recvs, accesses) in enumerate(rows):
+        trace.record(
+            time=i * 1e-3,
+            site=site,
+            kind=kind,
+            sends=tuple(sends),
+            recvs=tuple(recvs),
+            accesses=tuple(accesses),
+        )
+    return trace
+
+
+class TestVectorClocks:
+    def test_vc_leq_basics(self):
+        assert vc_leq({}, {})
+        assert vc_leq({"a": 1}, {"a": 1})
+        assert vc_leq({"a": 1}, {"a": 2, "b": 5})
+        assert not vc_leq({"a": 2}, {"a": 1})
+        assert not vc_leq({"a": 1, "b": 1}, {"a": 1})
+
+    def test_program_order_on_one_site(self):
+        trace = make_trace([
+            ("driver", "x", (), (), ()),
+            ("driver", "y", (), (), ()),
+            ("driver", "z", (), (), ()),
+        ])
+        hb = build_hb(trace)
+        assert hb.ordered(0, 1) and hb.ordered(1, 2) and hb.ordered(0, 2)
+        assert not hb.ordered(2, 0)
+
+    def test_message_edge_orders_across_sites(self):
+        trace = make_trace([
+            ("driver", "send", ("m1",), (), ()),
+            ("gcs", "recv", (), ("m1",), ()),
+            ("gcs", "after", (), (), ()),
+        ])
+        hb = build_hb(trace)
+        assert hb.ordered(0, 1)
+        assert hb.ordered(0, 2)
+
+    def test_unrelated_sites_are_concurrent(self):
+        trace = make_trace([
+            ("driver", "x", (), (), ()),
+            ("gcs", "y", (), (), ()),
+        ])
+        hb = build_hb(trace)
+        assert hb.concurrent(0, 1)
+
+    def test_recv_joins_latest_send_of_key(self):
+        trace = make_trace([
+            ("a", "send1", ("k",), (), ()),
+            ("b", "send2", ("k",), (), ()),
+            ("c", "recv", (), ("k",), ()),
+        ])
+        hb = build_hb(trace)
+        # the recv joined b's (latest) clock, not a's
+        assert hb.ordered(1, 2)
+        assert hb.concurrent(0, 2)
+
+    def test_dangling_recv_contributes_no_edge(self):
+        trace = make_trace([
+            ("a", "x", (), (), ()),
+            ("b", "recv", (), ("never-sent",), ()),
+        ])
+        hb = build_hb(trace)
+        assert hb.dangling_recvs == [(1, "never-sent")]
+        assert hb.concurrent(0, 1)
+
+
+class TestRaceDetection:
+    def test_concurrent_writes_race(self):
+        trace = make_trace([
+            ("a", "w1", (), (), (("dir:o", "w"),)),
+            ("b", "w2", (), (), (("dir:o", "w"),)),
+        ])
+        hb = build_hb(trace)
+        assert len(hb.races) == 1
+        race = hb.races[0]
+        assert race.var == "dir:o"
+        assert {race.first.kind, race.second.kind} == {"w1", "w2"}
+
+    def test_ordered_writes_do_not_race(self):
+        trace = make_trace([
+            ("a", "w1", ("m",), (), (("dir:o", "w"),)),
+            ("b", "w2", (), ("m",), (("dir:o", "w"),)),
+        ])
+        assert build_hb(trace).races == []
+
+    def test_commuting_classes_do_not_race(self):
+        # acc-acc, r-r and r-acc all commute (see CONFLICTS)
+        trace = make_trace([
+            ("a", "add1", (), (), (("dir:o", "acc"),)),
+            ("b", "add2", (), (), (("dir:o", "acc"),)),
+            ("c", "rd1", (), (), (("dir:o", "r"),)),
+            ("d", "rd2", (), (), (("dir:o", "r"),)),
+        ])
+        assert build_hb(trace).races == []
+        assert ("acc", "acc") not in CONFLICTS
+
+    def test_write_vs_read_and_accumulate_race(self):
+        trace = make_trace([
+            ("a", "rd", (), (), (("dir:o", "r"),)),
+            ("b", "add", (), (), (("dir:o", "acc"),)),
+            ("c", "wr", (), (), (("dir:o", "w"),)),
+        ])
+        hb = build_hb(trace)
+        kinds = {frozenset((r.first.kind, r.second.kind)) for r in hb.races}
+        # the write races both the read and the accumulate; r||acc commutes
+        assert kinds == {frozenset(("rd", "wr")), frozenset(("add", "wr"))}
+
+    def test_different_variables_never_race(self):
+        trace = make_trace([
+            ("a", "w1", (), (), (("dir:x", "w"),)),
+            ("b", "w2", (), (), (("dir:y", "w"),)),
+        ])
+        assert build_hb(trace).races == []
+
+    def test_fasttrack_pruning_drops_subsumed_accesses(self):
+        # w1 -> (ordered) w2; a later concurrent w3 races only against w2
+        trace = make_trace([
+            ("a", "w1", ("m",), (), (("dir:o", "w"),)),
+            ("b", "w2", (), ("m",), (("dir:o", "w"),)),
+            ("c", "w3", (), (), (("dir:o", "w"),)),
+        ])
+        hb = build_hb(trace)
+        # w1 was subsumed by the ordered w2: w3 races exactly once, against w2
+        assert len(hb.races) == 1
+        assert {hb.races[0].first.kind, hb.races[0].second.kind} == {"w2", "w3"}
+
+    def test_max_races_caps_reporting(self):
+        rows = [("s%d" % i, "w", (), (), (("dir:o", "w"),)) for i in range(10)]
+        hb = build_hb(make_trace(rows), max_races=3)
+        assert len(hb.races) == 3
+
+    def test_dedup_collapses_same_shape_races(self):
+        trace = make_trace([
+            ("attempt:t1#1", "rd", (), (), (("dir:o1", "r"),)),
+            ("driver", "wr", (), (), (("dir:o1", "w"),)),
+            ("attempt:t2#1", "rd", (), (), (("dir:o2", "r"),)),
+            ("driver", "wr", (), (), (("dir:o2", "w"),)),
+        ])
+        hb = build_hb(trace)
+        assert len(hb.races) == 2
+        assert len(hb.deduped_races()) == 1
+
+    def test_site_class_collapses_roles(self):
+        assert site_class("attempt:task-1#2") == "attempt"
+        assert site_class("raylet@server0/cpu") == "raylet"
+        assert site_class("driver") == "driver"
+        assert site_class("push:o->d") == "push"

@@ -1,0 +1,76 @@
+"""Replay-divergence checking: determinism verdicts and localization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dist.replay import check_replay, diff_signatures
+from repro.cluster import build_serverful
+from repro.runtime import ResolutionMode, RuntimeConfig, ServerlessRuntime
+
+
+class TestDiffSignatures:
+    def test_identical_sequences_have_no_divergence(self):
+        assert diff_signatures([1, 2, 3], [1, 2, 3]) is None
+
+    def test_first_mismatch_is_localized_with_context(self):
+        d = diff_signatures(list("abcdef"), list("abcxef"), context=2)
+        assert d is not None
+        assert d.index == 3
+        assert d.first == "d" and d.second == "x"
+        assert d.context == ("b", "c")
+        assert "run A" in d.describe() and "run B" in d.describe()
+
+    def test_length_mismatch_diverges_at_the_shorter_end(self):
+        d = diff_signatures([1, 2], [1, 2, 3])
+        assert d is not None
+        assert d.index == 2
+        assert d.first == "<end of run A>"
+        assert d.second == 3
+
+    def test_prefix_mismatch_wins_over_length_mismatch(self):
+        d = diff_signatures([1, 9, 3], [1, 2])
+        assert d.index == 1
+
+
+class TestCheckReplay:
+    def test_needs_at_least_two_runs(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            check_replay(lambda: [1], runs=1)
+
+    def test_deterministic_function_passes(self):
+        report = check_replay(lambda: [1, 2, 3], runs=3)
+        assert report.deterministic
+        assert report.runs == 3
+        assert report.lengths == [3, 3, 3]
+        assert "deterministic across 3 run(s)" in report.describe()
+
+    def test_nondeterministic_function_is_caught_and_localized(self):
+        counter = [0]
+
+        def flaky():
+            counter[0] += 1
+            return [1, 2, 99] if counter[0] == 2 else [1, 2, 3]
+
+        report = check_replay(flaky, runs=3)
+        assert not report.deterministic
+        assert report.diverged_run == 1
+        assert report.divergence.index == 2
+        assert "diverged from run 0" in report.describe()
+
+    def test_real_runtime_scenario_is_deterministic(self):
+        """The repo's determinism contract, checked the way CI would."""
+
+        def run():
+            rt = ServerlessRuntime(
+                build_serverful(n_servers=2),
+                RuntimeConfig(resolution=ResolutionMode.PULL),
+            )
+            a = rt.submit(lambda: 2, compute_cost=1e-3)
+            fan = [rt.submit(lambda x, i=i: x + i, (a,)) for i in range(4)]
+            total = rt.submit(lambda *xs: sum(xs), tuple(fan))
+            assert rt.get(total) == 4 * 2 + 6
+            return rt.log.signature()
+
+        report = check_replay(run, runs=2)
+        assert report.deterministic, report.describe()
