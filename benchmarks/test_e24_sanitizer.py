@@ -115,7 +115,11 @@ def free_race_scenario(perturbation=None, free_at=20e-3):
     ``free`` landing while the consumer attempt is mid-compute.  At
     ``free_at=20e-3`` the free always lands under the 50ms consumer (the
     detection case); at ``free_at=52e-3`` the legacy schedule dodges it
-    by ~1ms and only delivery jitter exposes the bug (the hunt case)."""
+    by ~1ms and only delivery jitter exposes the bug (the hunt case).
+
+    Uses ``force=True``: the default ``free`` now quiesces in-flight
+    consumers, so the race this benchmark seeds and hunts is only
+    reachable through the legacy escape hatch."""
     cluster = build_serverful(n_servers=2)
     if perturbation is not None:
         cluster.sim.set_perturbation(perturbation)
@@ -134,7 +138,7 @@ def free_race_scenario(perturbation=None, free_at=20e-3):
 
     def _free_mid_flight():
         yield rt.sim.timeout(free_at)
-        rt.free(a)
+        rt.free(a, force=True)
 
     rt.sim.process(_free_mid_flight(), name="driver:free")
     rt.sim.run()

@@ -20,6 +20,8 @@ AdmissionBoundsMonitor        queued-task counter stays within the configured de
 DeadlineMonotonicityMonitor   effective deadline == min(own, inherited-from-producers)
 FetchRegistryMonitor          dedup begin/end pairing; cancelled leaders release followers
 TaskLifecycleMonitor          submit once; at most one terminal per incarnation
+LeaderPerEpochMonitor         at most one GCS leader installed per fencing epoch
+EpochMonotonicityMonitor      leader epochs strictly increase; fencing is consistent
 ============================  =======================================================
 """
 
@@ -43,6 +45,8 @@ __all__ = [
     "DeadlineMonotonicityMonitor",
     "FetchRegistryMonitor",
     "TaskLifecycleMonitor",
+    "LeaderPerEpochMonitor",
+    "EpochMonotonicityMonitor",
 ]
 
 
@@ -136,9 +140,13 @@ class DirectoryStateMonitor(Monitor):
         "own_drop_node",
         "own_drop_device",
         "own_replay_reset",
+        "own_restore",
     )
 
-    # op -> {legal old states}; None stands for "entry absent"
+    # op -> {legal old states}; None stands for "entry absent".
+    # ``own_restore`` is the control-plane HA reset: a failover replays a
+    # WAL snapshot (or re-registration re-creates an entry), always with
+    # old=None, and re-seeds the tracked state to whatever it installs.
     _LEGAL_OLD: Dict[str, Tuple[Optional[str], ...]] = {
         "own_create": (None,),
         "own_mark_ready": ("PENDING", "READY", "LOST"),
@@ -147,6 +155,7 @@ class DirectoryStateMonitor(Monitor):
         "own_drop_node": ("READY", "LOST"),
         "own_drop_device": ("PENDING", "READY", "LOST"),
         "own_replay_reset": ("READY", "LOST"),
+        "own_restore": (None,),
     }
     _LEGAL_NEW: Dict[str, Tuple[str, ...]] = {
         "own_create": ("PENDING",),
@@ -156,6 +165,7 @@ class DirectoryStateMonitor(Monitor):
         "own_drop_node": ("READY", "LOST"),
         "own_drop_device": ("PENDING", "READY", "LOST"),
         "own_replay_reset": ("PENDING",),
+        "own_restore": ("PENDING", "READY", "LOST"),
     }
 
     def __init__(self) -> None:
@@ -459,6 +469,87 @@ class TaskLifecycleMonitor(Monitor):
             self._terminal[task] = event.kind
 
 
+class LeaderPerEpochMonitor(Monitor):
+    """At most one GCS leader is ever installed per fencing epoch.
+
+    Two ``ha_leader`` events claiming the same epoch would mean two
+    elections both believed they won the same term — split brain at the
+    control plane, the exact failure fencing epochs exist to prevent.
+    """
+
+    name = "leader-per-epoch"
+    kinds = ("ha_leader",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._leader_of_epoch: Dict[int, str] = {}
+
+    def on_event(self, event: ProtoEvent) -> None:
+        if event.kind != "ha_leader":
+            return
+        epoch = event.get("epoch")
+        node = event.get("node")
+        prior = self._leader_of_epoch.get(epoch)
+        if prior is not None:
+            self.flag(
+                f"epoch {epoch} has two leaders: {prior} then {node}",
+                event.seq,
+                node,
+            )
+        else:
+            self._leader_of_epoch[epoch] = node
+
+
+class EpochMonotonicityMonitor(Monitor):
+    """Fencing epochs only move forward.
+
+    Globally, each installed leader's epoch strictly exceeds the last;
+    per raylet, the observed epoch never decreases, and an *accepted*
+    lease never carries an epoch below what that raylet had already
+    observed (accepting one would un-fence a deposed leader).
+    """
+
+    name = "epoch-monotonic"
+    kinds = ("ha_leader", "ha_fence")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_leader_epoch: Optional[int] = None
+        self._observed: Dict[str, int] = {}
+
+    def on_event(self, event: ProtoEvent) -> None:
+        if event.kind == "ha_leader":
+            epoch = event.get("epoch")
+            last = self._last_leader_epoch
+            if last is not None and epoch <= last:
+                self.flag(
+                    f"leader installed for epoch {epoch} after epoch {last}",
+                    event.seq,
+                    event.get("node"),
+                )
+            self._last_leader_epoch = epoch
+        elif event.kind == "ha_fence":
+            endpoint = event.get("endpoint")
+            lease = event.get("lease_epoch")
+            raylet = event.get("raylet_epoch")
+            seen = self._observed.get(endpoint)
+            if seen is not None and raylet < seen:
+                self.flag(
+                    f"raylet {endpoint} epoch went backwards: {seen} -> {raylet}",
+                    event.seq,
+                    endpoint,
+                )
+            if event.get("accepted") and lease < raylet:
+                self.flag(
+                    f"raylet {endpoint} accepted stale lease epoch {lease} "
+                    f"while at {raylet}",
+                    event.seq,
+                    endpoint,
+                )
+            observed = max(raylet, lease) if event.get("accepted") else raylet
+            self._observed[endpoint] = max(seen or 0, observed)
+
+
 def default_monitors() -> List[Monitor]:
     return [
         SingleOwnerMonitor(),
@@ -469,6 +560,8 @@ def default_monitors() -> List[Monitor]:
         DeadlineMonotonicityMonitor(),
         FetchRegistryMonitor(),
         TaskLifecycleMonitor(),
+        LeaderPerEpochMonitor(),
+        EpochMonotonicityMonitor(),
     ]
 
 

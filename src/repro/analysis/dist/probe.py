@@ -503,6 +503,42 @@ class DistProbe:
         )
 
     # ------------------------------------------------------------------
+    # control-plane HA (leader elections, fencing)
+    # ------------------------------------------------------------------
+
+    def ha_leader(self, epoch: int, node: str) -> None:
+        """A failover installed ``node`` as the leader for ``epoch``.
+
+        Exclusive write on the singleton leadership cell: two same-epoch
+        installs would be split brain, which LeaderPerEpochMonitor flags.
+        """
+        if self._skip("ha_leader"):
+            return
+        self.emit(
+            "gcs",
+            "ha_leader",
+            (("epoch", epoch), ("node", node)),
+            accesses=(("ha:leader", "w"),),
+        )
+
+    def ha_fence(
+        self, endpoint: str, lease_epoch: int, raylet_epoch: int, accepted: bool
+    ) -> None:
+        """A raylet compared a lease's epoch against its observed epoch."""
+        if self._skip("ha_fence"):
+            return
+        self.emit(
+            self.raylet_site(endpoint),
+            "ha_fence",
+            (
+                ("endpoint", endpoint),
+                ("lease_epoch", lease_epoch),
+                ("raylet_epoch", raylet_epoch),
+                ("accepted", accepted),
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # lineage / spans / chaos
     # ------------------------------------------------------------------
 

@@ -6,7 +6,8 @@ detector, retry policy, and actor reconstruction do the surviving.
 
 Fault domains follow the disaggregated hardware: whole nodes
 (:class:`NodeCrash`), single accelerators (:class:`DeviceFailure`),
-memory blades (:class:`BladeFailure`), and DPUs (:class:`DpuFailure`)
+memory blades (:class:`BladeFailure`), DPUs (:class:`DpuFailure`), and
+the control plane itself (:class:`HeadFailure` kills the GCS's node)
 each fail — and are detected and recovered — differently.
 """
 
@@ -16,6 +17,7 @@ from .events import (
     DeviceFailure,
     DpuFailure,
     Fault,
+    HeadFailure,
     LinkDegradation,
     LoadBurst,
     MessageLoss,
@@ -33,6 +35,7 @@ __all__ = [
     "DeviceFailure",
     "DpuFailure",
     "Fault",
+    "HeadFailure",
     "LinkDegradation",
     "LoadBurst",
     "MessageLoss",

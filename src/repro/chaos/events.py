@@ -25,6 +25,7 @@ __all__ = [
     "DeviceFailure",
     "BladeFailure",
     "DpuFailure",
+    "HeadFailure",
     "LoadBurst",
     "ChaosSchedule",
     "ScheduleValidationError",
@@ -142,6 +143,22 @@ class DpuFailure(Fault):
 
 
 @dataclass(frozen=True)
+class HeadFailure(Fault):
+    """The head node — and the GCS riding on it — dies.
+
+    No victim id: the monkey resolves the *current leader* at fire time,
+    so a schedule with two head kills takes out the original head and
+    then whichever standby won the first election.  Without standby
+    replicas (``RuntimeConfig.ha_replicas == 0``) this is fatal for every
+    open task; with replicas the standbys detect the sync silence, elect,
+    replay the WAL, and resume.  ``restart_after`` (relative to the kill)
+    powers the node back on — it rejoins as a worker, never as leader.
+    """
+
+    restart_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class LoadBurst(Fault):
     """An open-loop arrival spike: ``n_tasks`` submissions over ``duration``.
 
@@ -223,6 +240,13 @@ class ChaosSchedule:
         self, at: float, node_id: str, recover_after: Optional[float] = None
     ) -> "ChaosSchedule":
         self.faults.append(DpuFailure(at, node_id, recover_after))
+        return self
+
+    def fail_gcs(
+        self, at: float, restart_after: Optional[float] = None
+    ) -> "ChaosSchedule":
+        """Kill the head node (whoever leads at ``at``) and the GCS with it."""
+        self.faults.append(HeadFailure(at, restart_after))
         return self
 
     def burst(
@@ -316,6 +340,8 @@ class ChaosSchedule:
                                 f"endpoint {end!r}"
                             )
                 check_window(fault, "duration", fault.duration)
+            elif isinstance(fault, HeadFailure):
+                check_window(fault, "restart_after", fault.restart_after)
             elif isinstance(fault, MessageLoss):
                 check_window(fault, "duration", fault.duration)
             elif isinstance(fault, LoadBurst):
@@ -372,6 +398,7 @@ class ChaosSchedule:
         dpu_ids: Sequence[str] = (),
         n_dpu_failures: int = 0,
         recover_fraction: float = 1.0,
+        n_head_failures: int = 0,
     ) -> "ChaosSchedule":
         """A reproducible pseudo-random schedule inside ``(0, horizon)``.
 
@@ -446,4 +473,8 @@ class ChaosSchedule:
             if not dpu_ids:
                 break
             sched.fail_dpu(when(), rng.choice(list(dpu_ids)), recovery())
+        # control-plane kills (drawn last, after every earlier family, so
+        # schedules built by older seeds stay bit-identical at the default 0)
+        for _ in range(n_head_failures):
+            sched.fail_gcs(when(), recovery())
         return sched

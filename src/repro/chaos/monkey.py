@@ -26,6 +26,7 @@ from .events import (
     DeviceFailure,
     DpuFailure,
     Fault,
+    HeadFailure,
     LinkDegradation,
     LoadBurst,
     MessageLoss,
@@ -122,6 +123,8 @@ class ChaosMonkey:
             self._fail_blade(fault)
         elif isinstance(fault, DpuFailure):
             self._fail_dpu(fault)
+        elif isinstance(fault, HeadFailure):
+            self._fail_head(fault)
         elif isinstance(fault, LoadBurst):
             self._burst(fault)
         else:  # pragma: no cover - future fault kinds
@@ -204,6 +207,35 @@ class ChaosMonkey:
     def _unslow(self, device_id: str) -> None:
         self.runtime._record("chaos_straggler_end", device=device_id)
         self.runtime.cluster.device(device_id).slowdown = 1.0
+
+    # -- control-plane kills ---------------------------------------------------
+
+    def _fail_head(self, fault: HeadFailure) -> None:
+        """Kill the current head node — and the GCS with it.
+
+        The victim is resolved at fire time (after a failover the head is
+        the elected standby, not the original server0).  The physical half
+        matches a node crash: raylets die, device memory vanishes, local
+        attempts interrupt.  The control half depends on replication:
+        with standbys the HA controller freezes the control plane and lets
+        the watch loops detect the silence; without, the GCS state is
+        simply gone and every open task fails.
+        """
+        rt = self.runtime
+        node_id = rt._head_node().node_id
+        rt._record("chaos_head_failure", node=node_id)
+        for raylet in rt._raylets_by_node.get(node_id, []):
+            raylet.fail()
+        node = rt.cluster.nodes.get(node_id)
+        for dev in node.devices if node is not None else []:
+            dev.fail()
+        rt._interrupt_tasks_on(node_id, "head crashed")
+        if rt.ha is not None:
+            rt.ha.on_leader_killed()
+        else:
+            rt._on_gcs_lost(node_id)
+        if fault.restart_after is not None:
+            self.sim.schedule(fault.restart_after, self._restart, node_id)
 
     # -- overload (open-loop arrival spikes) ----------------------------------
 

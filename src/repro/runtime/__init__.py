@@ -15,6 +15,7 @@ from .config import (
     SchedulingPolicy,
 )
 from .events import EventLog, RuntimeEvent
+from .ha import HAController, WalRecord
 from .health import HeartbeatMonitor
 from .ids import IdGenerator
 from .lineage import LineageGraph, UnrecoverableObjectError
@@ -83,6 +84,8 @@ __all__ = [
     "TaskError",
     "GetTimeoutError",
     "HeartbeatMonitor",
+    "HAController",
+    "WalRecord",
     "EventLog",
     "RuntimeEvent",
     "TaskTimeline",

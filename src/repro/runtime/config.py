@@ -165,6 +165,25 @@ class RuntimeConfig:
     # ``probe is not None`` check, so the legacy event traces (and their
     # virtual timings) are reproduced bit-for-bit.
     sanitizers: Tuple[str, ...] = ()
+    # -- control-plane HA (repro.runtime.ha).  ``ha_replicas > 0`` keeps a
+    # write-ahead log of control-plane mutations (ownership transitions,
+    # breaker flips, death/revival declarations, lease grants) replicated
+    # to that many standby server nodes over the simulated network, stamps
+    # a fencing epoch on every leader lease, and arms seeded deterministic
+    # leader election + log replay when the head dies (the chaos
+    # ``fail_gcs`` fault).  The zero default constructs no controller at
+    # all — every hook site is an ``ha is None`` check — so the legacy
+    # event traces (and their virtual timings) are reproduced bit-for-bit.
+    ha_replicas: int = 0
+    # leader -> standby WAL flush cadence in virtual seconds; the flush
+    # doubles as the liveness beacon the standbys watch.
+    ha_sync_interval: float = 1e-3
+    # consecutive silent sync intervals before a standby calls an election
+    ha_miss_threshold: int = 3
+    # seed mixed with the new epoch for the deterministic winner draw
+    ha_election_seed: int = 0
+    # virtual seconds the election winner spends replaying one WAL record
+    ha_replay_cost: float = 2e-7
     # accounting
     track_task_timeline: bool = True
 

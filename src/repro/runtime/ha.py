@@ -1,0 +1,414 @@
+"""Control-plane high availability: replicated GCS metadata and failover.
+
+The GCS — ownership table, object directory, failure detector, breaker
+and blacklist state — lives on the head node, which PRs 1-8 treated as
+immortal.  This module makes it killable.  The leader appends every
+control-plane mutation to a write-ahead log (:class:`WalRecord`) and
+flushes the un-synced tail to N standby server nodes over the simulated
+network every ``ha_sync_interval`` virtual seconds; the flush doubles as
+the liveness beacon the standbys watch.  When ``ha_miss_threshold``
+consecutive intervals pass without a sync, a standby calls a seeded
+deterministic election: the winner bumps the fencing epoch, replays its
+replica of the log to rebuild the directory and failure views, re-points
+the control endpoints at itself, re-registers every live raylet (which
+re-sends its store inventory and any done-reports the dead head never
+acknowledged), and restarts detection.  Leases stamped with the old
+epoch are rejected at the raylet (:meth:`Raylet.accepts_epoch`), so a
+deposed-but-alive leader — the network-partition case — cannot corrupt
+the cluster it lost.
+
+Everything here is built only when ``RuntimeConfig.ha_replicas > 0``;
+the zero default leaves every hook on its legacy path so existing event
+traces replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+from ..cluster.node import NodeKind
+from .health import STALL_TICKS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import ServerlessRuntime
+
+__all__ = ["WalRecord", "HAController"]
+
+
+class WalRecord:
+    """One replicated control-plane mutation.
+
+    ``detail`` is a tuple of sorted ``(key, value)`` pairs — hashable,
+    deterministic to iterate, cheap to copy to a replica.
+    """
+
+    __slots__ = ("seq", "epoch", "kind", "detail")
+
+    def __init__(self, seq: int, epoch: int, kind: str, detail: Tuple):
+        self.seq = seq
+        self.epoch = epoch
+        self.kind = kind
+        self.detail = detail
+
+    def get(self) -> Dict[str, Any]:
+        return dict(self.detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WalRecord({self.seq}, e{self.epoch}, {self.kind}, {dict(self.detail)})"
+
+
+class HAController:
+    """Replicated WAL, leader liveness, election, and fencing epochs."""
+
+    def __init__(self, runtime: "ServerlessRuntime", config) -> None:
+        self.runtime = runtime
+        self.cfg = config
+        self.sim = runtime.sim
+        self.net = runtime.net
+        servers = [n.node_id for n in runtime.cluster.nodes_of_kind(NodeKind.SERVER)]
+        if not servers:
+            raise ValueError("control-plane HA needs at least one server node")
+        self.leader_node: str = servers[0]  # matches _head_node()'s legacy pick
+        pool = servers[1:]
+        if config.ha_replicas > len(pool):
+            raise ValueError(
+                f"ha_replicas={config.ha_replicas} but only {len(pool)} "
+                f"non-head server node(s) can host a standby"
+            )
+        self.standbys: List[str] = pool[: config.ha_replicas]
+        self.epoch = 1
+        self.wal: List[WalRecord] = []
+        self._seq = 0
+        # per-standby replica state (leader-side) and the virtual time of the
+        # last sync each standby *received* (standby-side knowledge: this is
+        # what silence is measured against)
+        self.replica_logs: Dict[str, List[WalRecord]] = {s: [] for s in self.standbys}
+        self.last_sync: Dict[str, float] = {}
+        self.gcs_up = True
+        self.cluster_lost = False
+        self.parked: List[Any] = []  # dispatches frozen while the GCS is down
+        self.failovers = 0
+        self.elections = 0
+        self.syncs_delivered = 0
+        self.records_replayed = 0
+        self.unavailable_since: Optional[float] = None
+        self.last_unavailability: Optional[float] = None
+        # set by on_leader_killed / finalized by failover: READY-object audit
+        self.last_failover_report: Dict[str, Any] = {}
+        self._survivable_ready: Dict[str, int] = {}
+        self._active = False
+        self._gen = 0  # loops from an earlier generation exit on mismatch
+        self._election_running = False
+        self._failover_span = None
+        reg = runtime.telemetry.registry
+        self._m_epoch = reg.gauge("skadi_ha_epoch", "current GCS fencing epoch")
+        self._m_up = reg.gauge("skadi_ha_gcs_up", "1 while a leader is serving")
+        self._m_wal = reg.counter("skadi_ha_wal_records_total", "control-plane mutations logged")
+        self._m_syncs = reg.counter("skadi_ha_sync_batches_total", "WAL batches standbys received")
+        self._m_elections = reg.counter("skadi_ha_elections_total", "leader elections started")
+        self._m_failovers = reg.counter("skadi_ha_failovers_total", "failovers completed")
+        self._m_fenced = reg.counter(
+            "skadi_ha_stale_leases_rejected_total", "deposed-leader leases fenced at raylets"
+        )
+        self._m_unavail = reg.histogram(
+            "skadi_ha_unavailability_seconds", "head-kill to failover-complete windows"
+        )
+        self._m_epoch.set(float(self.epoch))
+        self._m_up.set(1.0)
+
+    # -- the write-ahead log --------------------------------------------------
+
+    def append(self, kind: str, **detail: Any) -> None:
+        """Log one leader write.  No-ops while no leader is serving: a dead
+        head cannot make its mutations durable — that window is exactly what
+        re-registration recovers."""
+        if not self.gcs_up or self.cluster_lost:
+            return
+        self._seq += 1
+        self.wal.append(
+            WalRecord(self._seq, self.epoch, kind, tuple(sorted(detail.items())))
+        )
+        self._m_wal.inc()
+
+    def on_ownership_op(self, op: str, object_id: str) -> None:
+        """Directory observer hook: snapshot the entry after every mutation.
+
+        The WAL stores full snapshots rather than deltas, so replay is a
+        last-write-wins upsert and needs no per-op semantics.
+        """
+        rt = self.runtime
+        if rt.ownership.contains(object_id):
+            e = rt.ownership.entry(object_id)
+            self.append(
+                "own",
+                object=object_id,
+                owner=e.owner,
+                task=e.task_id,
+                state=e.state.name,
+                nbytes=e.nbytes,
+                locations=tuple(sorted(e.locations)),
+                device=e.device_id,
+            )
+        else:
+            self.append("own_drop", object=object_id)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _endpoint(self, node_id: str) -> str:
+        return self.runtime.cluster.node(node_id).attachment_endpoint
+
+    def _node_alive(self, node_id: str) -> bool:
+        return any(
+            r.alive for r in self.runtime._raylets_by_node.get(node_id, [])
+        )
+
+    def _live(self, gen: int) -> bool:
+        return self._gen == gen and not self.cluster_lost
+
+    def ensure_running(self) -> None:
+        """Start (or restart) the sync pump and standby watch loops; called
+        whenever work is routed, mirroring the heartbeat monitor."""
+        if self._active or self.cluster_lost:
+            return
+        self._active = True
+        self._gen += 1
+        gen = self._gen
+        now = self.sim.now
+        for standby in self.standbys:
+            self.last_sync.setdefault(standby, now)
+            self.sim.process(
+                self._watch_loop(standby, gen), name=f"ha:watch:{standby}"
+            )
+        self.sim.process(self._sync_loop(gen), name="ha:sync")
+
+    def _restart_loops(self) -> None:
+        self._active = False
+        self._gen += 1
+        self.ensure_running()
+
+    # -- replication ----------------------------------------------------------
+
+    def _sync_loop(self, gen: int) -> Generator:
+        """Leader-side pump: every interval, ship the un-synced WAL tail to
+        each standby as one message.  The batch is also the liveness beacon —
+        an idle leader still syncs (empty batches), so silence means death
+        or partition, never mere quiet."""
+        interval = self.cfg.ha_sync_interval
+        stall = 0
+        progress = self.runtime._progress_counter()
+        while self._live(gen) and self.runtime._has_pending_work():
+            yield self.sim.timeout(interval)
+            if not self._live(gen):
+                return
+            if not self.gcs_up:
+                return  # the leader is dead; only the watch loops matter now
+            leader_ep = self._endpoint(self.leader_node)
+            for standby in list(self.standbys):
+                delivered = yield self.net.message(
+                    leader_ep, self._endpoint(standby), label="ha-sync"
+                )
+                if not self._live(gen) or not self.gcs_up:
+                    return
+                if delivered is False or not self._node_alive(standby):
+                    continue
+                replica = self.replica_logs[standby]
+                tail = self.wal[len(replica):]
+                replica.extend(tail)
+                self.last_sync[standby] = self.sim.now
+                self.syncs_delivered += 1
+                self._m_syncs.inc()
+            latest = self.runtime._progress_counter()
+            stall = stall + 1 if latest == progress else 0
+            progress = latest
+            if stall >= STALL_TICKS:
+                # nothing is moving: park the pump (like the heartbeat
+                # detector) so the simulation can drain and the driver's
+                # get() can run its recovery pass
+                self.runtime._record("ha_pump_stalled", loop="sync", ticks=stall)
+                break
+        if self._gen == gen:
+            self._active = False
+
+    # -- detection and election ----------------------------------------------
+
+    def _watch_loop(self, node_id: str, gen: int) -> Generator:
+        """Standby-side: count silent sync intervals; elect on the threshold."""
+        interval = self.cfg.ha_sync_interval
+        deadline = self.cfg.ha_miss_threshold * interval
+        stall = 0
+        progress = self.runtime._progress_counter()
+        while self._live(gen) and self.runtime._has_pending_work():
+            yield self.sim.timeout(interval)
+            if not self._live(gen):
+                return
+            if node_id == self.leader_node:
+                return  # this standby won an election; it no longer watches
+            if not self._node_alive(node_id):
+                # a dead standby detects nothing — and if the leader is down
+                # too and no standby anywhere is breathing, nobody is left to
+                # rebuild the control plane: the cluster is lost, not waiting
+                if not self.gcs_up and not any(
+                    self._node_alive(s) for s in self.standbys
+                ):
+                    self._declare_cluster_lost("no live standby to elect")
+                    return
+                continue
+            silent = self.sim.now - self.last_sync.get(node_id, 0.0)
+            if silent > deadline and not self._election_running:
+                self._election_running = True
+                self.sim.process(
+                    self._election(node_id, gen), name=f"ha:elect:{node_id}"
+                )
+            latest = self.runtime._progress_counter()
+            stall = stall + 1 if latest == progress else 0
+            progress = latest
+            if stall >= STALL_TICKS and self.gcs_up and not self._election_running:
+                # park only while a live leader is serving — a standby must
+                # never stop watching mid-outage, that is its whole job
+                self.runtime._record(
+                    "ha_pump_stalled", loop=f"watch:{node_id}", ticks=stall
+                )
+                break
+        if self._gen == gen:
+            self._active = False
+
+    def _election(self, initiator: str, gen: int) -> Generator:
+        """Seeded deterministic election + failover, run by the initiator."""
+        rt = self.runtime
+        try:
+            new_epoch = self.epoch + 1
+            candidates = sorted(
+                s for s in self.standbys
+                if s != self.leader_node and self._node_alive(s)
+            )
+            if not candidates:
+                self._declare_cluster_lost("no live standby to elect")
+                return
+            self.elections += 1
+            self._m_elections.inc()
+            rt._record(
+                "ha_election_started",
+                initiator=initiator,
+                epoch=new_epoch,
+                candidates=candidates,
+            )
+            if self._failover_span is None:
+                # partition-triggered election: the window opens here
+                self._failover_span = rt.telemetry.tracer.start_span(
+                    "ha-failover", "control", epoch=new_epoch, cause="sync silence"
+                )
+            # one vote round-trip from the initiator to each peer candidate:
+            # agreement pays the fabric before anyone leads
+            init_ep = self._endpoint(initiator)
+            for peer in candidates:
+                if peer == initiator:
+                    continue
+                yield self.net.rpc(init_ep, self._endpoint(peer), label="ha-vote")
+            if not self._live(gen):
+                return
+            rng = random.Random((self.cfg.ha_election_seed << 16) ^ new_epoch)
+            winner = rng.choice(candidates)
+            log = list(self.replica_logs.get(winner, ()))
+            if self.cfg.ha_replay_cost > 0.0 and log:
+                yield self.sim.timeout(self.cfg.ha_replay_cost * len(log))
+            self.records_replayed += len(log)
+            yield from rt._complete_failover(winner, new_epoch, log)
+        finally:
+            self._election_running = False
+
+    # -- leader death and adoption --------------------------------------------
+
+    def on_leader_killed(self) -> None:
+        """The chaos monkey killed the head.  Freeze the control plane: stop
+        detection (a dead GCS counts nothing), park new dispatches, and let
+        the standbys' watch loops notice the sync silence."""
+        if not self.gcs_up:
+            return
+        rt = self.runtime
+        self.gcs_up = False
+        self._m_up.set(0.0)
+        self.unavailable_since = self.sim.now
+        # audit baseline for the zero-lost-READY claim: READY objects whose
+        # bytes survive somewhere other than the dying head are the ones a
+        # correct failover must bring back
+        self._survivable_ready = {
+            e.object_id: e.nbytes
+            for e in rt.ownership.objects()
+            if e.state.name == "READY"
+            and any(loc != self.leader_node for loc in e.locations)
+        }
+        if rt.health is not None:
+            rt.health.pause()
+        self._failover_span = rt.telemetry.tracer.start_span(
+            "ha-failover", "control", epoch=self.epoch, cause="head killed"
+        )
+        # the watch loops may have drained during an idle gap; the kill is
+        # itself the event that must restart them
+        self.ensure_running()
+
+    def park(self, ctx: Any) -> None:
+        if ctx not in self.parked:
+            self.parked.append(ctx)
+
+    def adopt(self, winner: str, new_epoch: int, log: List[WalRecord]) -> None:
+        """Install the election winner: new epoch, new leader, the replayed
+        replica becomes the authoritative WAL, surviving standbys re-sync
+        from scratch (one batched flush catches them up)."""
+        self.epoch = new_epoch
+        self.leader_node = winner
+        self.standbys = [s for s in self.standbys if s != winner]
+        self.wal = list(log)
+        self._seq = len(self.wal)
+        self.replica_logs = {s: [] for s in self.standbys}
+        now = self.sim.now
+        self.last_sync = {s: now for s in self.standbys}
+        self.gcs_up = True
+        self.cluster_lost = False
+        self._m_epoch.set(float(new_epoch))
+        self._m_up.set(1.0)
+
+    def on_failover_complete(self) -> None:
+        self.failovers += 1
+        self._m_failovers.inc()
+        rt = self.runtime
+        restored = {
+            e.object_id
+            for e in rt.ownership.objects()
+            if e.state.name == "READY"
+        }
+        survivable = set(self._survivable_ready)
+        lost = sorted(survivable - restored)
+        self.last_failover_report = {
+            "epoch": self.epoch,
+            "leader": self.leader_node,
+            "ready_survivable": len(survivable),
+            "ready_restored": len(survivable & restored),
+            "ready_lost": len(lost),
+            "lost_objects": lost,
+            "wal_records": len(self.wal),
+        }
+        self._survivable_ready = {}
+        if self.unavailable_since is not None:
+            window = self.sim.now - self.unavailable_since
+            self.last_unavailability = window
+            self._m_unavail.observe(window)
+            self.unavailable_since = None
+        if self._failover_span is not None:
+            self._failover_span.finish(self.sim.now)
+            self._failover_span = None
+        self._restart_loops()
+
+    def on_stale_lease(self) -> None:
+        self._m_fenced.inc()
+
+    def _declare_cluster_lost(self, reason: str) -> None:
+        """Every standby is gone too: nothing can rebuild the control plane."""
+        rt = self.runtime
+        self.cluster_lost = True
+        self._m_up.set(0.0)
+        rt._record("ha_cluster_lost", reason=reason)
+        if self._failover_span is not None:
+            self._failover_span.finish(self.sim.now)
+            self._failover_span = None
+        rt._fail_open_tasks(f"control plane lost: {reason}")

@@ -124,6 +124,37 @@ class HeartbeatMonitor:
             self.sim.process(self._blade_probe_loop(node_id, epoch), name=f"probe:{node_id}")
         self.sim.process(self._monitor_loop(epoch), name="hb:monitor")
 
+    def pause(self) -> None:
+        """Stop every detection loop without declaring anything.
+
+        Used by control-plane HA when the GCS host dies: a dead head cannot
+        count silence.  Bumping the epoch makes every in-flight sender,
+        probe, and monitor loop exit at its next tick; a later
+        ``ensure_running()`` starts detection from scratch.
+        """
+        self._active = False
+        self._epoch += 1
+
+    def reset_for_failover(self, dead_nodes: Set[str]) -> None:
+        """Fresh detector state on the election winner.
+
+        Prior suspicion and grace timestamps belonged to the dead head and
+        were never replicated (suspicion is soft state; only *verdicts*
+        reach the WAL).  Nodes the replicated log already declared dead
+        start out suspected so a revival heartbeat can clear them through
+        the normal ``_beat`` path.
+        """
+        self.pause()
+        self.last_seen.clear()
+        self.last_seen_endpoint.clear()
+        self.suspected = set(dead_nodes)
+        self.suspected_endpoints = {
+            raylet.endpoint
+            for node_id in dead_nodes
+            for raylet in self.runtime._raylets_by_node.get(node_id, [])
+        }
+        self.ensure_running()
+
     # -- the wire protocol ---------------------------------------------------
 
     def _sender_loop(self, raylet: "Raylet", epoch: int) -> Generator:

@@ -155,6 +155,40 @@ class OwnershipTable:
                 self._observe("drop_device", entry, entry.state)
         return invalidated
 
+    def restore(
+        self,
+        object_id: str,
+        owner: str,
+        task_id: str,
+        state: ValueState,
+        nbytes: int,
+        locations: Iterable[str],
+        device_id: Optional[str] = None,
+    ) -> OwnershipEntry:
+        """Upsert an entry from a replicated snapshot (control-plane HA).
+
+        Used by the failover path: the election winner replays its WAL
+        replica and re-registration re-creates entries the log missed.
+        A restore is a sanctioned directory reset, not a protocol step —
+        the observer sees it as op ``"restore"`` and the state monitors
+        treat it as re-seeding their tracked state.
+        """
+        entry = self._entries.get(object_id)
+        if entry is None:
+            entry = OwnershipEntry(object_id=object_id, owner=owner, task_id=task_id)
+            self._entries[object_id] = entry
+        entry.state = state
+        entry.nbytes = nbytes
+        entry.locations = set(locations)
+        entry.device_id = device_id
+        entry.device_handle = None if device_id is None else next(self._handles)
+        self._observe("restore", entry, None)
+        return entry
+
+    def remove(self, object_id: str) -> None:
+        """Forget an entry entirely (``free`` and WAL ``own_drop`` replay)."""
+        self._entries.pop(object_id, None)
+
     def is_ready(self, object_id: str) -> bool:
         return self.contains(object_id) and self.entry(object_id).state == ValueState.READY
 

@@ -69,6 +69,14 @@ class Raylet:
         self.alive = True
         self.incarnation = 0  # bumped on every restart (stale-lease detection)
         self.failures = 0
+        # -- control-plane HA (repro.runtime.ha) --
+        # highest GCS fencing epoch this raylet has observed; leases stamped
+        # with an older epoch come from a deposed leader and are rejected
+        self.gcs_epoch = 0
+        # done-reports sent to the GCS but not yet acknowledged.  If the
+        # head dies before acking, the reports re-send at re-registration
+        # so the new leader learns about commits the WAL missed.
+        self._unacked_reports: List[Tuple] = []
 
     @property
     def raylet_id(self) -> str:
@@ -194,12 +202,38 @@ class Raylet:
 
         return self.sim.process(_handle(), name=f"{self.raylet_id}:ctrl")
 
+    # -- control-plane HA: fencing epochs and report buffering ----------------
+
+    def observe_epoch(self, epoch: int) -> None:
+        """Learn a (newer) GCS fencing epoch — from re-registration or from
+        the first lease a post-failover leader sends here."""
+        if epoch > self.gcs_epoch:
+            self.gcs_epoch = epoch
+
+    def accepts_epoch(self, epoch: int) -> bool:
+        """A lease carrying an older epoch than this raylet has observed was
+        granted by a deposed leader: reject it (split-brain fencing)."""
+        return epoch >= self.gcs_epoch
+
+    def buffer_report(self, report: Tuple) -> None:
+        self._unacked_reports.append(report)
+
+    def ack_report(self, report: Tuple) -> None:
+        try:
+            self._unacked_reports.remove(report)
+        except ValueError:
+            pass
+
+    def unacked_reports(self) -> List[Tuple]:
+        return list(self._unacked_reports)
+
     def fail(self) -> None:
         """Node failure: all local object copies vanish."""
         if self.alive:
             self.failures += 1
         self.alive = False
         self.abort_fetches()
+        self._unacked_reports.clear()
         for store in self.stores.values():
             store.clear()
 
@@ -215,6 +249,7 @@ class Raylet:
             self.failures += 1
         self.alive = False
         self.abort_fetches()
+        self._unacked_reports.clear()
 
     def restart(self) -> None:
         if not self.alive:

@@ -108,7 +108,7 @@ class _TaskCtx:
     __slots__ = (
         "spec", "ref", "device", "raylet", "done", "state", "timeline",
         "error", "replays", "proc", "attempt", "retries", "twin", "is_clone",
-        "span", "pulls", "admitted", "admit_raylet",
+        "span", "pulls", "admitted", "admit_raylet", "lease_epoch",
     )
 
     def __init__(self, spec: TaskSpec, ref: ObjectRef, done: Signal):
@@ -130,6 +130,7 @@ class _TaskCtx:
         self.pulls: Tuple = ()  # this attempt's in-flight pull processes
         self.admitted = False  # holds a scheduler-level admission slot
         self.admit_raylet: Optional[Raylet] = None  # holds a raylet window slot
+        self.lease_epoch = 0  # GCS fencing epoch stamped at dispatch (HA)
 
 
 class _ActorLock:
@@ -214,6 +215,9 @@ class ServerlessRuntime:
             self.net.chunk_bytes = None
         self.ownership = OwnershipTable()
         self.lineage = LineageGraph()
+        # control-plane HA controller; stays None unless ha_replicas > 0
+        # (set here so _head_node() can consult it during construction)
+        self.ha = None
 
         self._raylets: List[Raylet] = []
         self._raylet_of_device: Dict[str, Raylet] = {}
@@ -360,11 +364,36 @@ class ServerlessRuntime:
             for raylet in self._raylets:
                 raylet.probe = self.probe
             self.log.add_observer(self._mirror_chaos_event)
+        # -- control-plane HA (repro.runtime.ha): built only when standby
+        # replicas are requested, so the zero default adds no state, no
+        # events, and no virtual time — every hook is an ``ha is None`` check.
+        if cfg.ha_replicas > 0:
+            from .ha import HAController  # lazy: mirrors the probe import
+
+            self.ha = HAController(self, cfg)
+            # fan the directory observer out: the probe (if any) keeps its
+            # slot, and every mutation also snapshots into the WAL
+            prev_observer = self.ownership.observer
+            ha = self.ha
+            if prev_observer is None:
+                def _observe(op, oid, old, new, locs):
+                    ha.on_ownership_op(op, oid)
+            else:
+                def _observe(op, oid, old, new, locs, _prev=prev_observer):
+                    _prev(op, oid, old, new, locs)
+                    ha.on_ownership_op(op, oid)
+            self.ownership.observer = _observe
+        # deferred frees: objects whose free() arrived while a consumer was
+        # still in flight; drained as consumers conclude (see free())
+        self._deferred_frees: List[str] = []
         self.scheduler._meter_capacity()  # publish the healthy-cluster baseline
 
     # -- construction ----------------------------------------------------------
 
     def _head_node(self):
+        if self.ha is not None:
+            # leader-aware: after a failover the elected standby is the head
+            return self.cluster.node(self.ha.leader_node)
         servers = self.cluster.nodes_of_kind(NodeKind.SERVER)
         if servers:
             return servers[0]
@@ -846,8 +875,12 @@ class ServerlessRuntime:
             # scheduler-side skip: never dispatch work that is already doomed
             self._cancel_and_propagate(ctx, reason="deadline_exceeded")
             return
-        if self.health is not None:
+        if self.health is not None and (self.ha is None or self.ha.gcs_up):
+            # a dead GCS counts no silence: detection stays down until the
+            # failover path restarts it on the election winner
             self.health.ensure_running()
+        if self.ha is not None:
+            self.ha.ensure_running()
         if self.config.resolution == ResolutionMode.PUSH:
             # Eager: place now, subscribe to inputs, raylet waits for pushes.
             self._dispatch(ctx, preplaced=preplaced)
@@ -930,6 +963,10 @@ class ServerlessRuntime:
     def _task_closed(self, ctx: "_TaskCtx") -> None:
         """Admission bookkeeping when a task reaches a terminal state:
         release its scheduler slot and pump the overflow queue."""
+        if self._deferred_frees:
+            # a consumer concluding may be the last reader holding up a
+            # deferred free() — drain before any admission bookkeeping
+            self._pump_deferred_frees()
         if not self.config.admission_control:
             return
         if ctx.admitted:
@@ -1187,6 +1224,8 @@ class ServerlessRuntime:
         if self.probe is not None:
             self.probe.breaker_flip(device_id, old.name, new.name)
         self._record(kind, device=device_id, previous=old.value)
+        if self.ha is not None:
+            self.ha.append("breaker", device=device_id, state=new.name)
         reg = self.telemetry.registry
         reg.counter(
             "skadi_breaker_transitions_total",
@@ -1285,6 +1324,12 @@ class ServerlessRuntime:
 
     def _dispatch(self, ctx: _TaskCtx, preplaced: bool = False) -> None:
         spec = ctx.spec
+        if self.ha is not None and not self.ha.gcs_up:
+            # the control plane is down: no leader can grant a lease.  Park
+            # the dispatch; failover re-routes everything parked here.
+            ctx.state = TaskState.PENDING
+            self.ha.park(ctx)
+            return
         if spec.actor_id is not None:
             # reconstruction may have re-homed the actor since submission
             home = self._actor_device.get(spec.actor_id)
@@ -1326,6 +1371,17 @@ class ServerlessRuntime:
             self._device_inflight[dev_id] = self._device_inflight.get(dev_id, 0) + 1
         ctx.state = TaskState.SCHEDULED
         ctx.attempt += 1
+        if self.ha is not None:
+            # fencing: the lease carries the granting leader's epoch, and the
+            # grant itself is a replicated control-plane write
+            ctx.lease_epoch = self.ha.epoch
+            self.ha.append(
+                "lease",
+                task=spec.task_id,
+                attempt=ctx.attempt,
+                device=ctx.device.device_id,
+                epoch=self.ha.epoch,
+            )
         if self.probe_edges is not None and not ctx.is_clone:
             self.probe_edges.dispatch(
                 spec.task_id,
@@ -1614,6 +1670,8 @@ class ServerlessRuntime:
         sibling_store = raylet.find_object(ref.object_id)
         if sibling_store is not None:
             yield raylet.control()
+            if self.ha is not None and not self.ownership.contains(ref.object_id):
+                return  # entry vanished across a failover rebuild; retried
             src_store = sibling_store
             entry = self.ownership.entry(ref.object_id)
         else:
@@ -1623,6 +1681,12 @@ class ServerlessRuntime:
             )
             if located is False:
                 return  # chaos ate the lookup; the caller treats it as a miss
+            if self.ha is not None and (
+                not self.ha.gcs_up or not self.ownership.contains(ref.object_id)
+            ):
+                # no leader is serving lookups (or the failover rebuild
+                # dropped the entry): a transient miss, absorbed by retries
+                return
             entry = self.ownership.entry(ref.object_id)
             if self.probe_edges is not None:
                 # a stability-assuming read: the fetch plan built from this
@@ -1705,6 +1769,31 @@ class ServerlessRuntime:
             )
             if delivered is False or not raylet.alive:
                 raise _TransientTaskError("lease lost in transit")
+            if self.ha is not None:
+                # split-brain fencing: a lease stamped with an older epoch
+                # than this raylet has observed came from a deposed leader
+                if not raylet.accepts_epoch(ctx.lease_epoch):
+                    self._record(
+                        "ha_stale_lease_rejected",
+                        task=spec.task_id,
+                        lease_epoch=ctx.lease_epoch,
+                        raylet_epoch=raylet.gcs_epoch,
+                        endpoint=raylet.endpoint,
+                    )
+                    self.ha.on_stale_lease()
+                    if self.probe is not None:
+                        self.probe.ha_fence(
+                            raylet.endpoint, ctx.lease_epoch, raylet.gcs_epoch, False
+                        )
+                    raise _TransientTaskError(
+                        f"lease epoch {ctx.lease_epoch} fenced "
+                        f"(raylet saw {raylet.gcs_epoch})"
+                    )
+                if self.probe is not None:
+                    self.probe.ha_fence(
+                        raylet.endpoint, ctx.lease_epoch, raylet.gcs_epoch, True
+                    )
+                raylet.observe_epoch(ctx.lease_epoch)
             if self.probe_edges is not None:
                 self.probe_edges.attempt_start(spec.task_id, ctx.attempt, ctx.is_clone)
             yield raylet.control()
@@ -1858,7 +1947,28 @@ class ServerlessRuntime:
                 yield self.sim.timeout(cost)
 
             # 7. completion notification back to the scheduler/GCS
-            yield self.net.message(raylet.endpoint, self.scheduler.endpoint, label="done")
+            report = None
+            if self.ha is not None:
+                # the raylet holds the ready-report until the GCS acks it; a
+                # head that dies before acking gets it re-sent to the new
+                # leader at re-registration
+                report = (
+                    ctx.ref.object_id,
+                    device.node_id,
+                    nbytes,
+                    device.device_id,
+                    spec.task_id,
+                )
+                raylet.buffer_report(report)
+            delivered = yield self.net.message(
+                raylet.endpoint, self.scheduler.endpoint, label="done"
+            )
+            if (
+                report is not None
+                and delivered is not False
+                and self.ha.gcs_up
+            ):
+                raylet.ack_report(report)
             if self.probe is not None:
                 self.probe.task_finish(spec.task_id)
             ctx.state = TaskState.FINISHED
@@ -2327,12 +2437,21 @@ class ServerlessRuntime:
 
     # -- explicit memory management -----------------------------------------------------
 
-    def free(self, refs) -> int:
+    def free(self, refs, force: bool = False) -> int:
         """Release objects the application no longer needs.
 
         Drops every in-cluster copy and the directory entry; afterwards the
         ref cannot be ``get`` (KeyError), and lineage will not resurrect it.
-        Returns the number of bytes released.
+        Returns the number of bytes released *now*.
+
+        A free targeting an object some in-flight consumer still depends on
+        is **deferred**: dropping the entry under a running attempt makes
+        its argument unrecoverable (the perturbation hunt in
+        tests/test_dist_perturb.py pinned exactly that ordering bug), so
+        the GCS quiesces first — the free completes when the last open
+        consumer concludes (``free_deferred`` / ``free_completed`` events).
+        ``force=True`` bypasses quiescing and replays the legacy unsafe
+        drop; it exists for the sanitizer's seeded-race fixtures.
         """
         refs = [refs] if isinstance(refs, ObjectRef) else list(refs)
         released = 0
@@ -2340,23 +2459,65 @@ class ServerlessRuntime:
             oid = ref.object_id
             if not self.ownership.contains(oid):
                 continue
-            entry = self.ownership.entry(oid)
-            for node_id in list(entry.locations):
-                for raylet in self._raylets_by_node.get(node_id, []):
-                    store = raylet.find_object(oid)
-                    if store is not None and store.delete(oid):
-                        released += entry.nbytes
-            if self._spill_store is not None:
-                self._spill_store.delete(oid)
-            if self.reliable_cache is not None:
-                self.reliable_cache.delete(oid)
-            if self.probe is not None:
-                self.probe.site = "driver"
-                self.probe.ownership_op("free", oid, entry.state.name, None, 0)
-            entry.locations.clear()
-            self.ownership._entries.pop(oid, None)
-            self._ctx_of_object.pop(oid, None)
+            if not force and self._open_consumers(oid):
+                if oid not in self._deferred_frees:
+                    self._deferred_frees.append(oid)
+                    self._record("free_deferred", object=oid)
+                continue
+            released += self._free_object(oid, site="driver" if force else "gcs")
         return released
+
+    def _open_consumers(self, object_id: str) -> bool:
+        """Any non-terminal task (including pending retries) that lists the
+        object as a dependency still needs its directory entry."""
+        for ctx in self._ctxs.values():
+            if ctx.state in (
+                TaskState.FINISHED,
+                TaskState.FAILED,
+                TaskState.CANCELLED,
+            ):
+                continue
+            if any(dep.object_id == object_id for dep in ctx.spec.dependencies):
+                return True
+        return False
+
+    def _free_object(self, oid: str, site: str = "driver") -> int:
+        entry = self.ownership.entry(oid)
+        released = 0
+        for node_id in list(entry.locations):
+            for raylet in self._raylets_by_node.get(node_id, []):
+                store = raylet.find_object(oid)
+                if store is not None and store.delete(oid):
+                    released += entry.nbytes
+        if self._spill_store is not None:
+            self._spill_store.delete(oid)
+        if self.reliable_cache is not None:
+            self.reliable_cache.delete(oid)
+        if self.probe is not None:
+            # a quiesced free is the GCS acting after it processed every
+            # consumer's done-report: same-site program order is the honest
+            # happens-before edge that makes the drop race-free.  Only the
+            # legacy force path keeps the racy driver attribution.
+            self.probe.site = site
+            self.probe.ownership_op("free", oid, entry.state.name, None, 0)
+        if self.ha is not None:
+            self.ha.append("own_drop", object=oid)
+        entry.locations.clear()
+        self.ownership.remove(oid)
+        self._ctx_of_object.pop(oid, None)
+        return released
+
+    def _pump_deferred_frees(self) -> None:
+        still: List[str] = []
+        for oid in self._deferred_frees:
+            if not self.ownership.contains(oid):
+                continue
+            if self._open_consumers(oid):
+                still.append(oid)
+                continue
+            nbytes = self._free_object(oid, site="gcs")
+            self._record("free_completed", object=oid, nbytes=nbytes)
+        self._deferred_frees = still
 
     # -- checkpointing (bounding lineage depth) -------------------------------------------
 
@@ -2469,6 +2630,8 @@ class ServerlessRuntime:
         self._probe_site("gcs")  # death declarations are the detector's act
         lost = self.ownership.drop_node(node_id)
         self._record("node_dead", node=node_id, cause=cause, objects_lost=len(lost))
+        if self.ha is not None:
+            self.ha.append("node_dead", node=node_id)
         # actor state is volatile: actors homed there restart from their last
         # checkpoint on a surviving node, or die if there is none
         for actor_id in sorted(self._actor_device):
@@ -2489,6 +2652,8 @@ class ServerlessRuntime:
             for dev in raylet.devices:
                 self.scheduler.unblacklist(dev.device_id)
         self._record("node_alive", node=node_id)
+        if self.ha is not None:
+            self.ha.append("node_alive", node=node_id)
 
     def _interrupt_tasks_on(self, node_id: str, cause: str) -> None:
         """In-flight attempts placed on the node resubmit themselves."""
@@ -2503,6 +2668,241 @@ class ServerlessRuntime:
                     and victim.proc is not None
                 ):
                     victim.proc.interrupt(f"node {node_id}: {cause}")
+
+    # -- control-plane HA: head death, election, failover ---------------------
+    #
+    # The chaos monkey can kill the head node (ChaosSchedule.fail_gcs).  With
+    # standby replicas (RuntimeConfig.ha_replicas > 0) the HAController's
+    # watch loops detect the sync silence, elect a winner, and drive
+    # _complete_failover below; without replicas the control plane is simply
+    # gone — _on_gcs_lost fails every open task, which is the baseline the
+    # E25 benchmark measures replication against.
+
+    def _fail_open_tasks(self, reason: str) -> None:
+        """Permanently fail every non-terminal task: the control plane is
+        unrecoverable (no standby, or none left alive).  Failing before
+        interrupting matters — the Interrupt handler sees a terminal state
+        and returns instead of scheduling a retry against a dead GCS."""
+        for task_id in sorted(self._ctxs):
+            ctx = self._ctxs[task_id]
+            if ctx.state in (
+                TaskState.FINISHED,
+                TaskState.FAILED,
+                TaskState.CANCELLED,
+            ):
+                continue
+            self._fail_ctx(ctx, reason)
+            for victim in (ctx, ctx.twin):
+                if victim is not None and victim.proc is not None:
+                    victim.proc.interrupt(reason)
+
+    def _on_gcs_lost(self, node_id: str) -> None:
+        """Unreplicated head death: the GCS state — ownership table, detector
+        views, blacklist — died with the node and nothing holds a copy.
+        Every open task fails and driver handles surface the loss."""
+        self._record("gcs_lost", node=node_id)
+        if self.health is not None:
+            self.health.pause()
+        self.ownership._entries.clear()
+        self._fail_open_tasks(
+            f"control plane lost: GCS on {node_id} died with no standby"
+        )
+
+    def _complete_failover(
+        self, winner: str, new_epoch: int, log: List
+    ) -> Generator:
+        """The election winner becomes the head: rebuild control state from
+        its WAL replica, adopt leadership under the bumped fencing epoch,
+        re-point the control endpoints, re-register the driver and every
+        live raylet, reconcile, restart detection, release parked work."""
+        ha = self.ha
+        assert ha is not None
+        self._rebuild_control_state(log)
+        # adopt *before* re-registration so everything the raylets report
+        # lands in the new leader's WAL under the new epoch
+        ha.adopt(winner, new_epoch, log)
+        self.gcs_endpoint = self.cluster.node(winner).attachment_endpoint
+        self.scheduler.endpoint = self.gcs_endpoint
+        self._record(
+            "ha_leader_elected", epoch=new_epoch, node=winner, wal_records=len(log)
+        )
+        if self.probe is not None:
+            self.probe.ha_leader(new_epoch, winner)
+        self._reregister_driver()
+        yield from self._reregister_raylets(self.gcs_endpoint, new_epoch)
+        self._reconcile_after_failover()
+        if self.health is not None:
+            # the detector restarts seeded with the rebuilt dead-node view —
+            # the dead old head gets no grace period it has not earned
+            self.health.reset_for_failover(set(self._dead_nodes))
+        ha.on_failover_complete()
+        self._record("ha_failover_complete", epoch=new_epoch, node=winner)
+        self._resume_parked()
+
+    def _rebuild_control_state(self, log: List) -> None:
+        """Replay a WAL replica into fresh control-plane state.
+
+        Records carry full snapshots, so replay is a last-write-wins forward
+        pass.  Death records rebuild the *views* (dead sets, blacklist,
+        breakers) without re-running their side effects — the ownership
+        snapshots in the same log already reflect every drop the old leader
+        performed, and interrupts/actor restores happened on the old watch."""
+        self.ownership._entries.clear()
+        self._dead_nodes.clear()
+        self._dead_devices.clear()
+        self._dead_blades.clear()
+        self.scheduler.clear_blacklist()
+        breaker_final: Dict[str, str] = {}
+        for rec in log:
+            d = rec.get()
+            if rec.kind == "own":
+                self._probe_site("gcs")
+                self.ownership.restore(
+                    d["object"],
+                    d["owner"],
+                    d["task"],
+                    ValueState[d["state"]],
+                    d["nbytes"],
+                    d["locations"],
+                    d["device"],
+                )
+            elif rec.kind == "own_drop":
+                self.ownership.remove(d["object"])
+            elif rec.kind == "node_dead":
+                self._dead_nodes.add(d["node"])
+                for raylet in self._raylets_by_node.get(d["node"], []):
+                    for dev in raylet.devices:
+                        self.scheduler.blacklist(dev.device_id)
+            elif rec.kind == "node_alive":
+                self._dead_nodes.discard(d["node"])
+                for raylet in self._raylets_by_node.get(d["node"], []):
+                    for dev in raylet.devices:
+                        self.scheduler.unblacklist(dev.device_id)
+            elif rec.kind == "device_dead":
+                self._dead_devices.add(d["device"])
+                self.scheduler.blacklist(d["device"])
+                breaker_final[d["device"]] = "OPEN"
+            elif rec.kind == "device_alive":
+                self._dead_devices.discard(d["device"])
+                self.scheduler.unblacklist(d["device"])
+                breaker_final.pop(d["device"], None)
+            elif rec.kind == "blade_dead":
+                self._dead_blades.add(d["node"])
+            elif rec.kind == "blade_alive":
+                self._dead_blades.discard(d["node"])
+            elif rec.kind == "breaker":
+                breaker_final[d["device"]] = d["state"]
+            # "lease" records are informational (fencing audit); no replay
+        if self._breakers is not None:
+            for device_id in sorted(breaker_final):
+                if breaker_final[device_id] == "OPEN":
+                    self._breakers.breaker(device_id).force_open(self.sim.now)
+
+    def _reregister_driver(self) -> None:
+        """The driver re-asserts every ref it still holds: objects created in
+        the un-synced window before the kill never reached a replica, so
+        their entries come back as PENDING and the normal machinery — retry,
+        re-sent done-reports, lineage — re-materializes them."""
+        for oid in sorted(self._ctx_of_object):
+            ctx = self._ctx_of_object[oid]
+            if ctx.state in (TaskState.FAILED, TaskState.CANCELLED):
+                continue
+            if self.ownership.contains(oid):
+                continue
+            self._probe_site("gcs")
+            self.ownership.restore(
+                oid, DRIVER, ctx.spec.task_id, ValueState.PENDING, 0, (), None
+            )
+
+    def _reregister_raylets(self, winner_ep: str, epoch: int) -> Generator:
+        """Every live raylet re-registers with the new leader: it learns the
+        fencing epoch, re-sends the done-reports the dead head never acked
+        (commits the WAL missed), and reports its store inventory so every
+        surviving copy re-enters the directory."""
+        for raylet in sorted(
+            (r for r in self._raylets if r.alive), key=lambda r: r.endpoint
+        ):
+            delivered = yield self.net.rpc(
+                winner_ep, raylet.endpoint, label="ha-register"
+            )
+            if delivered is False or not raylet.alive:
+                continue
+            raylet.observe_epoch(epoch)
+            yield raylet.control()
+            for report in raylet.unacked_reports():
+                oid, node_id, nbytes, device_id, task_id = report
+                if not self.ownership.contains(oid):
+                    self._probe_site("gcs")
+                    self.ownership.restore(
+                        oid, DRIVER, task_id, ValueState.PENDING, 0, (), None
+                    )
+                store = self._store_of_device.get(device_id)
+                if store is not None and store.contains(oid):
+                    self._probe_site("gcs")
+                    self.ownership.mark_ready(oid, node_id, nbytes, device_id)
+                raylet.ack_report(report)
+            for dev_id in sorted(raylet.stores):
+                device = self._device_by_id.get(dev_id)
+                if device is None or not device.alive:
+                    continue
+                store = raylet.stores[dev_id]
+                for oid, stored in list(store._objects.items()):
+                    if not self.ownership.contains(oid):
+                        continue  # freed, or a put the driver no longer holds
+                    entry = self.ownership.entry(oid)
+                    if entry.state in (ValueState.READY, ValueState.LOST):
+                        self._probe_site("gcs")
+                        self.ownership.add_location(oid, device.node_id)
+                    elif entry.state == ValueState.PENDING:
+                        ctx = self._ctx_of_object.get(oid)
+                        if ctx is not None and ctx.state == TaskState.FINISHED:
+                            self._probe_site("gcs")
+                            self.ownership.mark_ready(
+                                oid, device.node_id, stored.nbytes, dev_id
+                            )
+
+    def _reconcile_after_failover(self) -> None:
+        """PENDING entries whose producing task FINISHED but whose bytes
+        survive on no live device: the commit landed and then died with its
+        only copy.  Mark them LOST so lineage replay (or a driver ``get``)
+        rebuilds them instead of waiting on a task that will never re-run."""
+        lost: List[str] = []
+        for entry in sorted(self.ownership.objects(), key=lambda e: e.object_id):
+            if entry.state is ValueState.LOST:
+                lost.append(entry.object_id)
+                continue
+            if entry.state is not ValueState.PENDING:
+                continue
+            ctx = self._ctx_of_object.get(entry.object_id)
+            if ctx is None or ctx.state is not TaskState.FINISHED:
+                continue
+            self._probe_site("gcs")
+            self.ownership.restore(
+                entry.object_id,
+                entry.owner,
+                entry.task_id,
+                ValueState.LOST,
+                entry.nbytes,
+                (),
+                None,
+            )
+            lost.append(entry.object_id)
+        # a consumer parked in backoff (or about to requeue) would otherwise
+        # wait forever on an object no task will ever produce again
+        self._recover_lost_dependencies(lost)
+
+    def _resume_parked(self) -> None:
+        """Dispatches frozen during the leaderless window go back through
+        routing (the new leader's scheduler, blacklist, and epoch)."""
+        assert self.ha is not None
+        parked, self.ha.parked = self.ha.parked, []
+        for ctx in parked:
+            if ctx.state is not TaskState.PENDING:
+                continue
+            try:
+                self._route(ctx)
+            except PlacementError as exc:
+                self._retry_or_fail(ctx, cause=str(exc))
 
     # -- device-granular failure domains -------------------------------------
     #
@@ -2588,6 +2988,8 @@ class ServerlessRuntime:
             cause=cause,
             objects_lost=len(lost),
         )
+        if self.ha is not None:
+            self.ha.append("device_dead", device=device_id)
         self.telemetry.registry.counter(
             "skadi_device_failures_total",
             "device deaths the control plane acted on, by device kind",
@@ -2612,6 +3014,8 @@ class ServerlessRuntime:
             self._breakers.breaker(device_id).on_recovered()
         self.scheduler.unblacklist(device_id)
         self._record("device_alive", device=device_id)
+        if self.ha is not None:
+            self.ha.append("device_alive", device=device_id)
 
     def _on_device_report(self, device_id: str, alive: bool) -> None:
         """A heartbeat's device-status payload: a live raylet telling the GCS
@@ -2728,6 +3132,8 @@ class ServerlessRuntime:
         self._probe_site("gcs")  # death declarations are the detector's act
         lost = self.ownership.drop_node(node_id)
         self._record("blade_dead", node=node_id, cause=cause, objects_lost=len(lost))
+        if self.ha is not None:
+            self.ha.append("blade_dead", node=node_id)
         self.telemetry.registry.counter(
             "skadi_blade_failures_total",
             "memory-blade deaths the control plane acted on",
@@ -2740,6 +3146,8 @@ class ServerlessRuntime:
             return
         self._dead_blades.discard(node_id)
         self._record("blade_alive", node=node_id)
+        if self.ha is not None:
+            self.ha.append("blade_alive", node=node_id)
 
     def _interrupt_tasks_on_device(self, device_id: str, cause: str) -> None:
         """In-flight attempts placed on one device resubmit themselves."""

@@ -93,6 +93,12 @@ class Scheduler:
             "devices the scheduler may currently place work on",
         ).set(float(len(live)))
 
+    def clear_blacklist(self) -> None:
+        """Forget every placement exclusion (control-plane HA failover: the
+        winner re-derives the blacklist from its replicated WAL)."""
+        self._blacklisted.clear()
+        self._meter_capacity()
+
     def is_blacklisted(self, device_id: str) -> bool:
         return device_id in self._blacklisted
 

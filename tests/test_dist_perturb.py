@@ -194,22 +194,21 @@ class TestHunt:
         assert payload["minimal_schedule"] == list(result.minimal)
 
 
-def free_under_consumer_scenario(perturbation):
-    """The pinned ordering bug: ``free`` does not quiesce in-flight readers.
+def free_under_consumer_scenario(perturbation, force=False, free_at=52e-3):
+    """The free-vs-consumer ordering scenario, fixed and legacy variants.
 
-    A driver frees an object 52ms in — just *after* the cross-node
-    consumer finishes in the legacy schedule (b lands at ~50.8ms), so the
-    baseline run succeeds purely by timing, not by synchronization: the
-    driver never observed b's completion, so no causal edge orders the
-    free after b's directory accesses.  Delivery jitter that stretches
-    b's fetch or compute past the free makes the argument vanish under
-    the running attempt and the task becomes unrecoverable (``free``
-    also removes the directory entry, so lineage cannot resurrect it).
+    A driver frees an object ``free_at`` in while a cross-node consumer
+    may still be reading it (b lands at ~50.8ms in the legacy schedule).
+    The hunt in this file originally *found* the ordering bug here:
+    delivery jitter that stretched b past the free made the argument
+    vanish under the running attempt, unrecoverably (``free`` also drops
+    the directory entry, so lineage cannot resurrect it).
 
-    Found by running this hunt during development; kept as a regression
-    pin.  If ``free`` ever learns to defer until in-flight consumers
-    drain, this hunt stops finding failures and the test should be
-    updated to assert exactly that.
+    ``free`` now quiesces: a free targeting an object with in-flight
+    consumers defers until the last one concludes, so the default path
+    survives every schedule.  ``force=True`` replays the legacy unsafe
+    drop — kept so the hunt and the HB sanitizer can still demonstrate
+    the bug they were built to find.
     """
     cluster = build_serverful(n_servers=2)
     if perturbation is not None:
@@ -228,16 +227,68 @@ def free_under_consumer_scenario(perturbation):
                   compute_cost=50e-3, pinned_device=cpu1)
 
     def _free_later():
-        yield rt.sim.timeout(52e-3)
-        rt.free(a)
+        yield rt.sim.timeout(free_at)
+        rt.free(a, force=force)
 
     rt.sim.process(_free_later(), name="driver:free")
     rt.sim.run()
     return rt, rt._ctx_of_object[b.object_id]
 
 
-class TestHuntPinsFreeOrderingBug:
-    """Satellite regression: the hunt exposes the free-vs-consumer bug."""
+def legacy_free_scenario(perturbation):
+    return free_under_consumer_scenario(perturbation, force=True)
+
+
+class TestFreeQuiescesConsumers:
+    """Satellite fix: ``free`` defers until in-flight consumers drain.
+
+    These tests used to pin the *bug* (the hunt reliably exposed it);
+    they now assert the fix, and the legacy ``force=True`` path keeps the
+    old behavior reproducible for the sanitizer's benefit.
+    """
+
+    def test_hunt_finds_no_failure_on_the_fixed_path(self):
+        def consumer_broken(outcome):
+            _rt, ctx = outcome
+            return ctx.state != TaskState.FINISHED
+
+        result = hunt(
+            free_under_consumer_scenario,
+            seeds=range(1, 13),
+            jitter=0.25,
+            predicate=consumer_broken,
+            shrink_budget=24,
+        )
+        assert not result.baseline_failed
+        assert not result.found_failure, (
+            "free stopped quiescing in-flight consumers"
+        )
+
+    def test_deferred_free_completes_after_the_consumer(self):
+        """A free that arrives mid-consumer defers, then lands: the
+        consumer finishes, the bytes are released, and the HB layer sees
+        no race (the GCS orders the drop after the done-report)."""
+        rt, ctx = free_under_consumer_scenario(None, free_at=25e-3)
+        assert ctx.state == TaskState.FINISHED
+        kinds = [e.kind for e in rt.events]
+        assert "free_deferred" in kinds
+        assert "free_completed" in kinds
+        deferred = next(e for e in rt.events if e.kind == "free_deferred")
+        completed = next(e for e in rt.events if e.kind == "free_completed")
+        assert completed.time > deferred.time
+        assert completed["nbytes"] > 0  # the bytes really came back
+        assert not rt.ownership.contains(completed["object"])
+        report = rt.probe.report(partial=True)
+        race_kinds = {
+            frozenset((r.first.kind, r.second.kind)) for r in report.races
+        }
+        assert frozenset(("dir_read", "own_free")) not in race_kinds
+        assert frozenset(("own_add_location", "own_free")) not in race_kinds
+
+
+class TestHuntPinsLegacyFreeBug:
+    """The hunt still exposes the legacy (``force=True``) ordering bug —
+    proof the fix changed the protocol, not the detector."""
 
     def test_hunt_exposes_and_shrinks_the_timing_dependence(self):
         def consumer_broken(outcome):
@@ -245,7 +296,7 @@ class TestHuntPinsFreeOrderingBug:
             return ctx.state != TaskState.FINISHED
 
         result = hunt(
-            free_under_consumer_scenario,
+            legacy_free_scenario,
             seeds=range(1, 13),
             jitter=0.25,
             predicate=consumer_broken,
@@ -258,13 +309,13 @@ class TestHuntPinsFreeOrderingBug:
         replay = TiePerturbation(
             result.failing_seed, active=result.minimal, jitter=0.25
         )
-        _rt, ctx = free_under_consumer_scenario(replay)
+        _rt, ctx = legacy_free_scenario(replay)
         assert ctx.state != TaskState.FINISHED
 
     def test_sanitizer_localizes_the_failing_schedule(self):
         """On any schedule where the free lands first, HB names the race."""
         result = hunt(
-            free_under_consumer_scenario,
+            legacy_free_scenario,
             seeds=range(1, 13),
             jitter=0.25,
             predicate=lambda outcome: outcome[1].state != TaskState.FINISHED,
@@ -277,9 +328,10 @@ class TestHuntPinsFreeOrderingBug:
         assert frozenset(("dir_read", "own_free")) in kinds
 
     def test_baseline_race_is_flagged_even_when_timing_saves_the_run(self):
-        """The unperturbed run passes, but only by accident — the HB layer
-        still reports the free as concurrent with the consumer's reads."""
-        rt, ctx = free_under_consumer_scenario(None)
+        """The unperturbed forced run passes, but only by accident — the
+        HB layer still reports the free as concurrent with the consumer's
+        reads."""
+        rt, ctx = legacy_free_scenario(None)
         assert ctx.state == TaskState.FINISHED  # timing luck
         report = rt.probe.report(partial=True)
         kinds = {frozenset((r.first.kind, r.second.kind)) for r in report.races}

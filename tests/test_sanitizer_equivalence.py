@@ -104,6 +104,11 @@ def run_free_scenario(sanctioned: bool):
     consumer's directory read (a genuine use-after-free: the argument can
     vanish under the running attempt).  ``sanctioned=True`` waits for
     ``get(b)`` first, which closes the causal edge.
+
+    The unsanctioned branch uses ``force=True``: the default ``free`` now
+    quiesces in-flight consumers (see tests/test_dist_perturb.py), so the
+    legacy unsafe drop — the race this fixture exists to seed — is only
+    reachable through the force escape hatch.
     """
     cluster = build_serverful(n_servers=2)
     cpu0 = cluster.node("server0").first_of_kind(DeviceKind.CPU).device_id
@@ -123,7 +128,7 @@ def run_free_scenario(sanctioned: bool):
     else:
         def _free_mid_flight():
             yield rt.sim.timeout(20e-3)
-            rt.free(a)
+            rt.free(a, force=True)
 
         rt.sim.process(_free_mid_flight(), name="driver:free")
         rt.sim.run()
@@ -170,7 +175,7 @@ class TestFreeRaceDetection:
 
         def _free_mid_flight():
             yield rt.sim.timeout(20e-3)
-            rt.free(a)
+            rt.free(a, force=True)
 
         rt.sim.process(_free_mid_flight(), name="driver:free")
         rt.sim.run()
