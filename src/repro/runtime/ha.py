@@ -116,6 +116,11 @@ class HAController:
         )
         self._m_epoch.set(float(self.epoch))
         self._m_up.set(1.0)
+        # The WAL sync beacon doubles as the standbys' liveness protocol:
+        # eliding sync rounds analytically would hide exactly the silence an
+        # election counts, so HA runs pinned to exact simulation (idle
+        # fast-forward never skips while a poller is armed).
+        self.sim.arm_poller()
 
     # -- the write-ahead log --------------------------------------------------
 
